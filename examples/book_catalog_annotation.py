@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""The paper's Figure-1 scenario, end to end, on a hand-built catalog.
+
+A table of book titles and authors where the text is genuinely ambiguous:
+"Albert" appears both in person names and book titles, the header 'Title'
+could mean books, movies or albums, and "written by" shares no word with
+'Author'.  Collective inference resolves everything jointly.
+
+Run with::
+
+    python examples/book_catalog_annotation.py
+"""
+
+from repro import CatalogBuilder, Table, TableAnnotator
+
+
+def build_catalog():
+    """A miniature catalog mirroring the paper's Figure 1."""
+    return (
+        CatalogBuilder(name="figure-1")
+        .type("type:person", "person")
+        .type("type:physicist", "physicist", parents=["type:person"])
+        .type("type:author", "author", "writer", parents=["type:person"])
+        .type("type:book", "book", "title")
+        .type("type:science_books", "science books", parents=["type:book"])
+        .entity(
+            "ent:einstein",
+            ["Albert Einstein", "A. Einstein", "Einstein"],
+            types=["type:physicist", "type:author"],
+        )
+        .entity("ent:stannard", ["Russell Stannard"], types=["type:author"])
+        .entity(
+            "ent:doxiadis",
+            ["Apostolos Doxiadis", "A. Doxiadis"],
+            types=["type:author"],
+        )
+        .entity(
+            "ent:relativity",
+            ["Relativity: The Special and the General Theory", "Relativity"],
+            types=["type:science_books"],
+        )
+        .entity(
+            "ent:uncle_albert",
+            ["Uncle Albert and the Quantum Quest"],
+            types=["type:science_books"],
+        )
+        .entity(
+            "ent:time_space",
+            ["The Time and Space of Uncle Albert"],
+            types=["type:science_books"],
+        )
+        .entity(
+            "ent:petros",
+            ["Uncle Petros and the Goldbach Conjecture", "Uncle Petros"],
+            types=["type:book"],
+        )
+        .relation(
+            "rel:wrote",
+            "type:book",
+            "type:author",
+            lemmas=["written by", "author", "wrote"],
+            cardinality="many_to_one",
+        )
+        .fact("rel:wrote", "ent:relativity", "ent:einstein")
+        .fact("rel:wrote", "ent:uncle_albert", "ent:stannard")
+        .fact("rel:wrote", "ent:time_space", "ent:stannard")
+        .fact("rel:wrote", "ent:petros", "ent:doxiadis")
+        .build()
+    )
+
+
+def main() -> None:
+    catalog = build_catalog()
+    table = Table(
+        table_id="figure-1",
+        cells=[
+            ["Uncle Albert and the Quantum Quest", "Russell Stannard"],
+            ["Relativity: The Special and the General Theory", "A. Einstein"],
+            ["The Time and Space of Uncle Albert", "Stannard"],
+            ["Uncle Petros and the Goldbach conjecture", "A  Doxiadis"],
+        ],
+        headers=["Title", "Author"],
+        context="a list of popular science books and who wrote them",
+    )
+
+    annotator = TableAnnotator(catalog)
+    annotation = annotator.annotate(table)
+
+    print("Column types:")
+    for column in range(table.n_columns):
+        print(f"  column {column} ({table.headers[column]}): "
+              f"{annotation.type_of(column)}")
+    print("\nRelation between the columns:")
+    print(f"  (0, 1): {annotation.relation_of(0, 1)}")
+    print("\nCell entities:")
+    for row in range(table.n_rows):
+        for column in range(table.n_columns):
+            entity = annotation.entity_of(row, column)
+            print(f"  ({row},{column}) {table.cell(row, column)[:45]!r:48} -> {entity}")
+
+    # The headline disambiguations of Figure 1:
+    assert annotation.entity_of(1, 1) == "ent:einstein"      # 'A. Einstein'
+    assert annotation.entity_of(0, 0) == "ent:uncle_albert"  # not the Einstein book
+    assert annotation.relation_of(0, 1) == "rel:wrote"
+    print("\nFigure-1 disambiguation checks passed.")
+
+
+if __name__ == "__main__":
+    main()

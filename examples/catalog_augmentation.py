@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Closing the loop: annotated tables grow the catalog (paper Section 7).
+
+"The Web will never have a complete 'schema'.  Socially maintained catalogs
+will always be incomplete.  Our work paves the way to augment catalogs with
+dynamic relational information."
+
+This example runs that loop:
+
+1. the annotator's catalog view is missing a known set of relation tuples
+   (dropped by the synthetic corruption),
+2. a table corpus is annotated and mined for new facts,
+3. proposals are scored against the ground-truth catalog
+   (precision / recall of the dropped tuples),
+4. high-confidence facts are written back into a copy of the catalog and the
+   corpus is re-annotated with the enriched φ5 evidence.
+
+Run with::
+
+    python examples/catalog_augmentation.py
+"""
+
+from repro import TableAnnotator
+from repro.catalog.io import catalog_from_dict, catalog_to_dict
+from repro.catalog.synthetic import SyntheticCatalogConfig, generate_world
+from repro.core.augmentation import CatalogAugmenter, recovered_fraction
+from repro.eval.metrics import entity_accuracy
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+
+
+def entity_score(annotator, tables) -> float:
+    correct = total = 0
+    for labeled in tables:
+        annotation = annotator.annotate(labeled.table)
+        counts = entity_accuracy(labeled.truth, annotation)
+        correct += counts.correct
+        total += counts.total
+    return correct / total
+
+
+def main() -> None:
+    world = generate_world(SyntheticCatalogConfig(seed=7, drop_tuple_prob=0.3))
+    full_tuples = world.full.stats()["tuples"]
+    view_tuples = world.annotator_view.stats()["tuples"]
+    print(
+        f"catalog view knows {view_tuples}/{full_tuples} tuples "
+        f"({full_tuples - view_tuples} dropped)"
+    )
+
+    corpus = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(seed=60, n_tables=40, noise=NoiseProfile.WIKI),
+    ).generate()
+    annotator = TableAnnotator(world.annotator_view)
+
+    # mine proposals
+    augmenter = CatalogAugmenter(world.annotator_view, min_confidence=1.0)
+    for labeled in corpus:
+        augmenter.add_annotated_table(annotator.annotate(labeled.table))
+    report = augmenter.report()
+    stats = recovered_fraction(report.tuples, world.full, world.annotator_view)
+    print(
+        f"\nmined {len(report.tuples)} tuple proposals: "
+        f"precision {stats['precision']:.0%}, "
+        f"recovered {stats['recall_of_dropped']:.0%} of the dropped tuples"
+    )
+    for proposal in report.tuples[:5]:
+        subject = world.full.entities.get(proposal.subject).primary_lemma
+        object_ = world.full.entities.get(proposal.object_).primary_lemma
+        known = world.full.relations.has_tuple(
+            proposal.relation_id, proposal.subject, proposal.object_
+        )
+        print(
+            f"  [{'true ' if known else 'FALSE'}] "
+            f"{proposal.relation_id}({subject!r}, {object_!r}) "
+            f"support={proposal.support}"
+        )
+
+    # apply to a copy of the view and measure downstream annotation quality
+    before = entity_score(annotator, corpus[:12])
+    enriched = catalog_from_dict(catalog_to_dict(world.annotator_view))
+    report.apply_to(enriched, min_support=1)
+    enriched_annotator = TableAnnotator(enriched)
+    after = entity_score(enriched_annotator, corpus[:12])
+    print(
+        f"\nentity accuracy on a held slice: {before:.1%} -> {after:.1%} "
+        "after augmentation (clean tables annotate near ceiling either way; "
+        "the payoff is the recovered facts themselves)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A relational search engine over annotated Web tables (paper Section 5).
+
+Builds a corpus of noisy movie/book/geography tables, trains the annotator,
+indexes the corpus with its annotations, then answers queries like
+"movies directed by <person>" with all three query processors — the string
+baseline (paper Figure 3), type-annotated and type+relation-annotated search
+(Figure 4) — and reports MAP against the ground-truth fact store.
+
+Run with::
+
+    python examples/movie_search_engine.py
+"""
+
+from repro import AnnotatedSearcher, BaselineSearcher, RelationQuery, TrainingConfig
+from repro.catalog.synthetic import generate_world
+from repro.eval.experiments import build_annotated_index, train_model
+from repro.eval.metrics import average_precision
+from repro.eval.workload import (
+    build_search_corpus,
+    build_search_workload,
+    relevance_keys,
+)
+from repro.tables.generator import NoiseProfile, TableGeneratorConfig, WebTableGenerator
+
+
+def main() -> None:
+    world = generate_world()
+
+    print("Training the annotator on clean tables ...")
+    train_tables = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(
+            seed=11, n_tables=16, noise=NoiseProfile.WIKI, id_prefix="train"
+        ),
+    ).generate()
+    model = train_model(
+        world, train_tables, training=TrainingConfig(epochs=2, seed=0)
+    )
+
+    print("Annotating and indexing the search corpus ...")
+    corpus = build_search_corpus(world, n_tables=80, seed=23)
+    index = build_annotated_index(world, corpus, model)
+    print("index:", index.stats())
+
+    searchers = {
+        "baseline (Fig 3)": BaselineSearcher(index, world.annotator_view),
+        "type-only (Fig 4)": AnnotatedSearcher(
+            index, world.annotator_view, use_relations=False
+        ),
+        "type+relation": AnnotatedSearcher(
+            index, world.annotator_view, use_relations=True
+        ),
+    }
+
+    # Show one query in detail: movies directed by some director.
+    workload = build_search_workload(world, queries_per_relation=5, seed=3)
+    query = next(
+        q for q in workload.queries if q.relation_id == "rel:directed"
+    )
+    relevant_entities = workload.relevant[query]
+    print(
+        f"\nQuery: {query.relation_id}(?, {query.given_text})  — "
+        f"{len(relevant_entities)} relevant movies"
+    )
+    for name, searcher in searchers.items():
+        response = searcher.search(query)
+        keys = response.ranked_keys()
+        ap = average_precision(keys, relevance_keys(world, relevant_entities))
+        print(f"\n  {name}: AP={ap:.3f}, {len(response.answers)} answers")
+        for answer in response.answers[:5]:
+            tag = answer.entity_id or "(string)"
+            print(f"    {answer.score:7.2f}  {answer.text[:40]:42} {tag}")
+
+    # MAP over the whole workload.
+    print("\nMAP over the full workload:")
+    for name, searcher in searchers.items():
+        ap_values = []
+        for q in workload.queries:
+            keys = searcher.search(q).ranked_keys()
+            ap_values.append(
+                average_precision(keys, relevance_keys(world, workload.relevant[q]))
+            )
+        print(f"  {name:18s} MAP = {sum(ap_values) / len(ap_values):.3f}")
+
+
+if __name__ == "__main__":
+    main()

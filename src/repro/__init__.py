@@ -1,0 +1,90 @@
+"""repro — reproduction of Limaye, Sarawagi & Chakrabarti (VLDB 2010),
+"Annotating and Searching Web Tables Using Entities, Types and
+Relationships".
+
+Quick start::
+
+    from repro import (
+        generate_world, TableAnnotator, WebTableGenerator, TableGeneratorConfig,
+    )
+
+    world = generate_world()                      # synthetic YAGO-substitute
+    gen = WebTableGenerator(world.full, TableGeneratorConfig(n_tables=5))
+    annotator = TableAnnotator(world.annotator_view)
+    for labeled in gen.generate():
+        annotation = annotator.annotate(labeled.table)
+        print(annotation.table_id, annotation.columns)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.catalog import (
+    Catalog,
+    CatalogBuilder,
+    SyntheticCatalogConfig,
+    SyntheticCatalogGenerator,
+)
+from repro.catalog.synthetic import SyntheticWorld, generate_world
+from repro.core import (
+    AnnotationModel,
+    AnnotatorConfig,
+    LCAAnnotator,
+    MajorityAnnotator,
+    StructuredTrainer,
+    TableAnnotation,
+    TableAnnotator,
+    TrainingConfig,
+    TypeEntityFeatureMode,
+)
+from repro.search import (
+    AnnotatedSearcher,
+    AnnotatedTableIndex,
+    BaselineSearcher,
+    JoinQuery,
+    JoinSearcher,
+    RelationQuery,
+)
+from repro.tables import (
+    LabeledTable,
+    NoiseProfile,
+    Table,
+    TableCorpus,
+    TableGeneratorConfig,
+    WebTableGenerator,
+    extract_tables_from_html,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotatedSearcher",
+    "AnnotatedTableIndex",
+    "AnnotationModel",
+    "AnnotatorConfig",
+    "BaselineSearcher",
+    "Catalog",
+    "CatalogBuilder",
+    "JoinQuery",
+    "JoinSearcher",
+    "LCAAnnotator",
+    "LabeledTable",
+    "MajorityAnnotator",
+    "NoiseProfile",
+    "RelationQuery",
+    "StructuredTrainer",
+    "SyntheticCatalogConfig",
+    "SyntheticCatalogGenerator",
+    "SyntheticWorld",
+    "Table",
+    "TableAnnotation",
+    "TableAnnotator",
+    "TableCorpus",
+    "TableGeneratorConfig",
+    "TrainingConfig",
+    "TypeEntityFeatureMode",
+    "WebTableGenerator",
+    "extract_tables_from_html",
+    "generate_world",
+    "__version__",
+]

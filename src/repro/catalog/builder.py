@@ -1,0 +1,106 @@
+"""Fluent builder for assembling catalogs in tests, examples and loaders."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.relations import Cardinality
+from repro.catalog.types import ROOT_TYPE_ID
+
+
+class CatalogBuilder:
+    """Incrementally build a :class:`~repro.catalog.catalog.Catalog`.
+
+    Example::
+
+        catalog = (
+            CatalogBuilder()
+            .type("type:person", "person")
+            .type("type:physicist", "physicist", parents=["type:person"])
+            .entity("ent:einstein", ["Albert Einstein", "Einstein"],
+                    types=["type:physicist"])
+            .relation("rel:born_at", "type:person", "type:place",
+                      lemmas=["born at"])
+            .fact("rel:born_at", "ent:einstein", "ent:ulm")
+            .build()
+        )
+
+    ``type``/``entity`` accept parents/types that are declared later; edges
+    are resolved at :meth:`build` time so declaration order never matters.
+    """
+
+    def __init__(self, name: str = "catalog") -> None:
+        self._name = name
+        self._types: list[tuple[str, tuple[str, ...], tuple[str, ...]]] = []
+        self._entities: list[tuple[str, tuple[str, ...], tuple[str, ...]]] = []
+        self._relations: list[tuple[str, str, str, tuple[str, ...], Cardinality]] = []
+        self._facts: list[tuple[str, str, str]] = []
+        self._ensure_root = True
+
+    def type(
+        self,
+        type_id: str,
+        *lemmas: str,
+        parents: Iterable[str] = (),
+    ) -> "CatalogBuilder":
+        """Declare a type with lemmas and optional parent types."""
+        self._types.append((type_id, tuple(lemmas), tuple(parents)))
+        return self
+
+    def entity(
+        self,
+        entity_id: str,
+        lemmas: Iterable[str] = (),
+        types: Iterable[str] = (),
+    ) -> "CatalogBuilder":
+        """Declare an entity with lemmas and direct types."""
+        self._entities.append((entity_id, tuple(lemmas), tuple(types)))
+        return self
+
+    def relation(
+        self,
+        relation_id: str,
+        subject_type: str,
+        object_type: str,
+        lemmas: Iterable[str] = (),
+        cardinality: Cardinality | str = Cardinality.MANY_TO_MANY,
+    ) -> "CatalogBuilder":
+        """Declare a binary relation with its type schema."""
+        cardinality = (
+            Cardinality(cardinality) if isinstance(cardinality, str) else cardinality
+        )
+        self._relations.append(
+            (relation_id, subject_type, object_type, tuple(lemmas), cardinality)
+        )
+        return self
+
+    def fact(self, relation_id: str, subject: str, object_: str) -> "CatalogBuilder":
+        """Declare a ground tuple ``relation_id(subject, object_)``."""
+        self._facts.append((relation_id, subject, object_))
+        return self
+
+    def without_root(self) -> "CatalogBuilder":
+        """Skip the automatic creation of a universal root type."""
+        self._ensure_root = False
+        return self
+
+    def build(self) -> Catalog:
+        """Materialise the catalog; validates all cross-references."""
+        catalog = Catalog(name=self._name)
+        for type_id, lemmas, _parents in self._types:
+            catalog.types.add_type(type_id, lemmas)
+        for type_id, _lemmas, parents in self._types:
+            for parent in parents:
+                catalog.types.add_subtype(type_id, parent)
+        if self._ensure_root:
+            catalog.types.ensure_root(ROOT_TYPE_ID)
+        for entity_id, lemmas, types in self._entities:
+            catalog.add_entity(entity_id, lemmas, types)
+        for relation_id, subject_type, object_type, lemmas, card in self._relations:
+            catalog.add_relation(
+                relation_id, subject_type, object_type, lemmas, card
+            )
+        for relation_id, subject, object_ in self._facts:
+            catalog.add_tuple(relation_id, subject, object_)
+        return catalog

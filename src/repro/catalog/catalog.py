@@ -1,0 +1,244 @@
+"""The :class:`Catalog` facade combining types, entities and relations.
+
+Besides delegation, this class memoises the derived quantities that dominate
+annotation cost:
+
+* ``entities_of_type(T)`` — ``E(T)``, the transitive instance set,
+* ``type_ancestors(E)`` — ``T(E)``, all type ancestors of an entity,
+* ``distance(E, T)`` — ``dist(E, T)``, edges on the shortest ``∈`` + ``⊆*``
+  path (paper Section 4.2.3),
+* ``relatedness(E, T)`` — the missing-link repair quantity
+  ``min_{T' ∋ E} |E(T') ∩ E(T)| / |E(T')|``.
+
+Caches are invalidated wholesale by :meth:`Catalog.invalidate_caches`; all
+mutating helpers on the facade call it automatically.  Mutating the underlying
+stores directly after heavy querying is allowed but requires a manual
+invalidation — the builder and generator follow the build-then-query pattern
+so this never arises in library code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.catalog.entities import Entity, EntityStore
+from repro.catalog.errors import UnknownIdError
+from repro.catalog.relations import Cardinality, Relation, RelationStore
+from repro.catalog.types import Type, TypeHierarchy
+
+
+class Catalog:
+    """A knowledge catalog of types, entities and binary relations."""
+
+    def __init__(
+        self,
+        types: TypeHierarchy | None = None,
+        entities: EntityStore | None = None,
+        relations: RelationStore | None = None,
+        name: str = "catalog",
+    ) -> None:
+        self.types = types if types is not None else TypeHierarchy()
+        self.entities = entities if entities is not None else EntityStore()
+        self.relations = relations if relations is not None else RelationStore()
+        self.name = name
+        self._entities_of_type: dict[str, frozenset[str]] = {}
+        self._type_ancestors: dict[str, frozenset[str]] = {}
+        self._distance: dict[tuple[str, str], float] = {}
+        self._min_instance_distance: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # mutation helpers (invalidate caches)
+    # ------------------------------------------------------------------
+    def add_type(self, type_id: str, lemmas: Iterable[str] = ()) -> Type:
+        self.invalidate_caches()
+        return self.types.add_type(type_id, lemmas)
+
+    def add_subtype(self, child: str, parent: str) -> None:
+        self.invalidate_caches()
+        self.types.add_subtype(child, parent)
+
+    def add_entity(
+        self,
+        entity_id: str,
+        lemmas: Iterable[str] = (),
+        direct_types: Iterable[str] = (),
+    ) -> Entity:
+        direct_types = tuple(direct_types)
+        for type_id in direct_types:
+            if type_id not in self.types:
+                raise UnknownIdError("type", type_id)
+        self.invalidate_caches()
+        return self.entities.add_entity(entity_id, lemmas, direct_types)
+
+    def add_relation(
+        self,
+        relation_id: str,
+        subject_type: str,
+        object_type: str,
+        lemmas: Iterable[str] = (),
+        cardinality: Cardinality | str = Cardinality.MANY_TO_MANY,
+    ) -> Relation:
+        for type_id in (subject_type, object_type):
+            if type_id not in self.types:
+                raise UnknownIdError("type", type_id)
+        self.invalidate_caches()
+        return self.relations.add_relation(
+            relation_id, subject_type, object_type, lemmas, cardinality
+        )
+
+    def add_tuple(self, relation_id: str, subject: str, object_: str) -> None:
+        for entity_id in (subject, object_):
+            if entity_id not in self.entities:
+                raise UnknownIdError("entity", entity_id)
+        self.invalidate_caches()
+        self.relations.add_tuple(relation_id, subject, object_)
+
+    def invalidate_caches(self) -> None:
+        """Drop all memoised derived quantities."""
+        self._entities_of_type.clear()
+        self._type_ancestors.clear()
+        self._distance.clear()
+        self._min_instance_distance.clear()
+
+    # ------------------------------------------------------------------
+    # derived queries
+    # ------------------------------------------------------------------
+    def entities_of_type(self, type_id: str) -> frozenset[str]:
+        """``E(T)``: entities that are transitive instances of ``type_id``."""
+        cached = self._entities_of_type.get(type_id)
+        if cached is not None:
+            return cached
+        if type_id not in self.types:
+            raise UnknownIdError("type", type_id)
+        members: set[str] = set(self.entities.direct_instances(type_id))
+        for descendant in self.types.descendants(type_id):
+            members.update(self.entities.direct_instances(descendant))
+        result = frozenset(members)
+        self._entities_of_type[type_id] = result
+        return result
+
+    def type_ancestors(self, entity_id: str) -> frozenset[str]:
+        """``T(E)``: all types the entity transitively belongs to."""
+        cached = self._type_ancestors.get(entity_id)
+        if cached is not None:
+            return cached
+        entity = self.entities.get(entity_id)
+        ancestors: set[str] = set()
+        for type_id in entity.direct_types:
+            ancestors.add(type_id)
+            ancestors.update(self.types.ancestors(type_id))
+        result = frozenset(ancestors)
+        self._type_ancestors[entity_id] = result
+        return result
+
+    def is_instance(self, entity_id: str, type_id: str) -> bool:
+        """``E ∈+ T`` test."""
+        return type_id in self.type_ancestors(entity_id)
+
+    def distance(self, entity_id: str, type_id: str) -> float:
+        """``dist(E, T)``: edges (one ``∈`` then ``⊆*``) on the shortest path.
+
+        Returns ``math.inf`` when ``E ∉+ T`` — the paper's convention for
+        unreachable types.
+        """
+        key = (entity_id, type_id)
+        cached = self._distance.get(key)
+        if cached is not None:
+            return cached
+        entity = self.entities.get(entity_id)
+        if type_id not in self.types:
+            raise UnknownIdError("type", type_id)
+        best = math.inf
+        for direct in entity.direct_types:
+            hops = self.types.hops_up(direct, type_id)
+            if hops is not None:
+                best = min(best, 1 + hops)
+        self._distance[key] = best
+        return best
+
+    def min_instance_distance(self, type_id: str) -> float:
+        """``min_{E' ∈ E(T)} dist(E', T)`` — denominator of the repair feature.
+
+        For catalogs where entities attach directly to the type this is 1.
+        Returns ``math.inf`` for an instance-less type.
+        """
+        cached = self._min_instance_distance.get(type_id)
+        if cached is not None:
+            return cached
+        best = math.inf
+        for entity_id in self.entities_of_type(type_id):
+            best = min(best, self.distance(entity_id, type_id))
+            if best == 1:
+                break
+        self._min_instance_distance[type_id] = best
+        return best
+
+    def relatedness(self, entity_id: str, type_id: str) -> float:
+        """Missing-link evidence that ``E ∈+ T`` despite no catalog path.
+
+        Computes ``min_{T' : E ∈ T'} |E(T') ∩ E(T)| / |E(T')|`` over the
+        immediate parent types ``T'`` of the entity (paper Section 4.2.3,
+        "Missing links").  Returns 0.0 when the entity has no direct types.
+        """
+        entity = self.entities.get(entity_id)
+        if type_id not in self.types:
+            raise UnknownIdError("type", type_id)
+        target = self.entities_of_type(type_id)
+        worst = math.inf
+        for direct in entity.direct_types:
+            members = self.entities_of_type(direct)
+            if not members:
+                overlap = 0.0
+            else:
+                overlap = len(members & target) / len(members)
+            worst = min(worst, overlap)
+        return 0.0 if worst is math.inf else worst
+
+    def type_idf_specificity(self, type_id: str) -> float:
+        """IDF-style specificity ``log(|E| / |E(T)|)`` (paper Section 4.2.3).
+
+        The paper defines specificity as the raw ratio ``|E|/|E(T)|``; we damp
+        it with a log (as IR systems do) so that one feature cannot dominate
+        the linear model.  An instance-less type gets the maximum specificity
+        observed for singleton types.
+        """
+        total = max(len(self.entities), 1)
+        members = len(self.entities_of_type(type_id))
+        return math.log(total / max(members, 1))
+
+    def least_common_ancestors(self, type_ids: Iterable[str]) -> set[str]:
+        """Minimal common ancestor types of the given set (LCA in a DAG)."""
+        type_ids = list(type_ids)
+        if not type_ids:
+            return set()
+        common: set[str] | None = None
+        for type_id in type_ids:
+            ancestors = self.types.ancestors(type_id, include_self=True)
+            common = ancestors if common is None else common & ancestors
+        if not common:
+            return set()
+        return self.types.minimal_elements(common)
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Basic size statistics, YAGO-style (entities / types / relations)."""
+        tuple_total = sum(
+            self.relations.tuple_count(r) for r in self.relations
+        )
+        return {
+            "types": len(self.types),
+            "entities": len(self.entities),
+            "relations": len(self.relations),
+            "tuples": tuple_total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        stats = self.stats()
+        return (
+            f"Catalog(name={self.name!r}, types={stats['types']}, "
+            f"entities={stats['entities']}, relations={stats['relations']}, "
+            f"tuples={stats['tuples']})"
+        )

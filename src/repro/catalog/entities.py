@@ -1,0 +1,132 @@
+"""Entity store: catalog entities, their lemmas and direct type memberships.
+
+An entity ``E`` is an instance of one or more types (``E ∈ T``); the
+transitive closure ``E ∈+ T`` and the derived sets ``E(T)`` / ``T(E)`` are
+computed by the :class:`~repro.catalog.catalog.Catalog` facade, which combines
+this store with the type hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.catalog.errors import DuplicateIdError, UnknownIdError
+
+
+@dataclass
+class Entity:
+    """A catalog entity.
+
+    Attributes:
+        entity_id: Unique identifier, e.g. ``"ent:albert_einstein"``.
+        lemmas: Known surface forms (``L(E)``), e.g. ``("Albert Einstein",
+            "Einstein", "A. Einstein")``.  Lemmas of different entities may
+            coincide — that is precisely the ambiguity the annotator resolves.
+        direct_types: The most specific types the entity is an instance of.
+    """
+
+    entity_id: str
+    lemmas: tuple[str, ...] = field(default_factory=tuple)
+    direct_types: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.entity_id:
+            raise ValueError("entity_id must be a non-empty string")
+        self.lemmas = tuple(self.lemmas)
+        self.direct_types = tuple(self.direct_types)
+
+    @property
+    def primary_lemma(self) -> str:
+        """The first (canonical) lemma, or the bare id when lemma-less."""
+        return self.lemmas[0] if self.lemmas else self.entity_id
+
+
+class EntityStore:
+    """Mutable collection of :class:`Entity` objects indexed by id."""
+
+    def __init__(self) -> None:
+        self._entities: dict[str, Entity] = {}
+        self._by_direct_type: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_entity(
+        self,
+        entity_id: str,
+        lemmas: Iterable[str] = (),
+        direct_types: Iterable[str] = (),
+    ) -> Entity:
+        if entity_id in self._entities:
+            raise DuplicateIdError("entity", entity_id)
+        entity = Entity(
+            entity_id=entity_id,
+            lemmas=tuple(lemmas),
+            direct_types=tuple(direct_types),
+        )
+        self._entities[entity_id] = entity
+        for type_id in entity.direct_types:
+            self._by_direct_type.setdefault(type_id, set()).add(entity_id)
+        return entity
+
+    def add_lemmas(self, entity_id: str, lemmas: Iterable[str]) -> None:
+        entity = self.get(entity_id)
+        merged = list(entity.lemmas)
+        for lemma in lemmas:
+            if lemma not in merged:
+                merged.append(lemma)
+        entity.lemmas = tuple(merged)
+
+    def add_direct_type(self, entity_id: str, type_id: str) -> None:
+        """Attach an additional direct ``∈`` edge to an entity."""
+        entity = self.get(entity_id)
+        if type_id not in entity.direct_types:
+            entity.direct_types = entity.direct_types + (type_id,)
+            self._by_direct_type.setdefault(type_id, set()).add(entity_id)
+
+    def remove_direct_type(self, entity_id: str, type_id: str) -> bool:
+        """Drop a direct ``∈`` edge; returns ``True`` if it existed.
+
+        Used by the synthetic generator to simulate the *missing link*
+        incompleteness of socially-maintained catalogs (paper Section 4.2.3).
+        """
+        entity = self.get(entity_id)
+        if type_id not in entity.direct_types:
+            return False
+        entity.direct_types = tuple(t for t in entity.direct_types if t != type_id)
+        members = self._by_direct_type.get(type_id)
+        if members is not None:
+            members.discard(entity_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entities)
+
+    def get(self, entity_id: str) -> Entity:
+        try:
+            return self._entities[entity_id]
+        except KeyError:
+            raise UnknownIdError("entity", entity_id) from None
+
+    def lemmas(self, entity_id: str) -> tuple[str, ...]:
+        return self.get(entity_id).lemmas
+
+    def direct_types(self, entity_id: str) -> tuple[str, ...]:
+        return self.get(entity_id).direct_types
+
+    def direct_instances(self, type_id: str) -> frozenset[str]:
+        """Entities with a *direct* ``∈`` edge to ``type_id``."""
+        return frozenset(self._by_direct_type.get(type_id, frozenset()))
+
+    def all_entities(self) -> list[Entity]:
+        return list(self._entities.values())

@@ -1,0 +1,108 @@
+"""JSON persistence for catalogs.
+
+The on-disk format is a single JSON document with four arrays (types,
+subtype edges are embedded as ``parents`` on each type, entities, relations
+and facts).  It is intentionally close to the builder vocabulary so that a
+saved catalog round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.catalog import Catalog
+
+FORMAT_VERSION = 1
+
+
+def catalog_to_dict(catalog: Catalog) -> dict[str, Any]:
+    """Serialise a catalog to a JSON-compatible dictionary."""
+    types = []
+    for node in catalog.types.all_types():
+        types.append(
+            {
+                "id": node.type_id,
+                "lemmas": list(node.lemmas),
+                "parents": sorted(catalog.types.parents(node.type_id)),
+            }
+        )
+    entities = []
+    for entity in catalog.entities.all_entities():
+        entities.append(
+            {
+                "id": entity.entity_id,
+                "lemmas": list(entity.lemmas),
+                "types": list(entity.direct_types),
+            }
+        )
+    relations = []
+    facts = []
+    for relation in catalog.relations.all_relations():
+        relations.append(
+            {
+                "id": relation.relation_id,
+                "subject_type": relation.subject_type,
+                "object_type": relation.object_type,
+                "lemmas": list(relation.lemmas),
+                "cardinality": relation.cardinality.value,
+            }
+        )
+        for subject, object_ in sorted(catalog.relations.tuples(relation.relation_id)):
+            facts.append([relation.relation_id, subject, object_])
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": catalog.name,
+        "types": types,
+        "entities": entities,
+        "relations": relations,
+        "facts": facts,
+    }
+
+
+def catalog_from_dict(payload: dict[str, Any]) -> Catalog:
+    """Deserialise a catalog from :func:`catalog_to_dict` output."""
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported catalog format version: {version}")
+    builder = CatalogBuilder(name=payload.get("name", "catalog")).without_root()
+    for type_entry in payload.get("types", []):
+        builder.type(
+            type_entry["id"],
+            *type_entry.get("lemmas", []),
+            parents=type_entry.get("parents", []),
+        )
+    for entity_entry in payload.get("entities", []):
+        builder.entity(
+            entity_entry["id"],
+            lemmas=entity_entry.get("lemmas", []),
+            types=entity_entry.get("types", []),
+        )
+    for relation_entry in payload.get("relations", []):
+        builder.relation(
+            relation_entry["id"],
+            relation_entry["subject_type"],
+            relation_entry["object_type"],
+            lemmas=relation_entry.get("lemmas", []),
+            cardinality=relation_entry.get("cardinality", "many_to_many"),
+        )
+    for relation_id, subject, object_ in payload.get("facts", []):
+        builder.fact(relation_id, subject, object_)
+    return builder.build()
+
+
+def save_catalog_json(catalog: Catalog, path: str | Path) -> None:
+    """Write the catalog to ``path`` as UTF-8 JSON."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(catalog_to_dict(catalog), handle, ensure_ascii=False, indent=1)
+
+
+def load_catalog_json(path: str | Path) -> Catalog:
+    """Read a catalog previously written by :func:`save_catalog_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return catalog_from_dict(payload)

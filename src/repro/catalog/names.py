@@ -1,0 +1,100 @@
+"""Vocabulary pools for the synthetic catalog generator.
+
+The pools are deliberately *small* relative to the number of generated
+entities: sharing surnames across persons and title words across works is
+what produces the 7-8 candidate entities per cell that the paper reports
+(Section 6.1.1).  All selection from these pools is done with a seeded RNG by
+:mod:`repro.catalog.synthetic`, so the pools themselves carry no randomness.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Alan", "Alice", "Amar", "Anita", "Arthur", "Asha", "Carl", "Clara",
+    "David", "Diego", "Elena", "Emma", "Felix", "George", "Girija", "Hana",
+    "Henry", "Irene", "Ivan", "James", "Jorge", "Julia", "Kenji", "Kiran",
+    "Laura", "Leo", "Lin", "Maria", "Meera", "Nadia", "Nikhil", "Nora",
+    "Omar", "Paulo", "Priya", "Rahul", "Raj", "Rosa", "Samuel", "Sara",
+    "Sunita", "Tomas", "Uma", "Victor", "Wei", "Yuki", "Zara", "Soumen",
+)
+
+SURNAMES: tuple[str, ...] = (
+    "Abbott", "Baker", "Bell", "Bose", "Carter", "Chandra", "Chen", "Clark",
+    "Costa", "Das", "Dixon", "Evans", "Fischer", "Fuentes", "Garcia", "Gupta",
+    "Hart", "Hayashi", "Iyer", "Jain", "Kim", "Kumar", "Lane", "Lee",
+    "Mehta", "Mills", "Moreau", "Nair", "Novak", "Okafor", "Park", "Patel",
+    "Quinn", "Rao", "Reyes", "Rossi", "Roy", "Sato", "Shah", "Silva",
+    "Singh", "Stone", "Suzuki", "Tanaka", "Varma", "Weber", "Wong", "Young",
+)
+
+TITLE_ADJECTIVES: tuple[str, ...] = (
+    "Silent", "Golden", "Broken", "Hidden", "Crimson", "Distant", "Endless",
+    "Fading", "Gentle", "Hollow", "Iron", "Lost", "Midnight", "Pale",
+    "Quiet", "Restless", "Scarlet", "Shattered", "Burning", "Frozen",
+    "Forgotten", "Wandering", "Winter", "Summer", "Ancient", "Electric",
+)
+
+TITLE_NOUNS: tuple[str, ...] = (
+    "River", "Mountain", "Garden", "Mirror", "Shadow", "Harbor", "Letter",
+    "Voyage", "Orchard", "Lantern", "Bridge", "Forest", "Island", "Tower",
+    "Crown", "Compass", "Horizon", "Sparrow", "Tide", "Ember",
+    "Archive", "Citadel", "Meridian", "Labyrinth", "Monsoon", "Aurora",
+)
+
+ALBUM_WORDS: tuple[str, ...] = (
+    "Echoes", "Pulse", "Gravity", "Neon", "Static", "Bloom", "Drift",
+    "Voltage", "Mosaic", "Prism", "Cascade", "Verve", "Tempo", "Solstice",
+)
+
+COUNTRIES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("Veridia", ("Veridia", "Republic of Veridia")),
+    ("Ostania", ("Ostania", "Ostanian Federation")),
+    ("Meridova", ("Meridova",)),
+    ("Kestrellia", ("Kestrellia", "Kingdom of Kestrellia")),
+    ("Auremont", ("Auremont",)),
+    ("Tavria", ("Tavria", "Tavrian Union")),
+    ("Zephyra", ("Zephyra",)),
+    ("Norhaven", ("Norhaven", "Norhaven Isles")),
+    ("Calvessa", ("Calvessa",)),
+    ("Drovania", ("Drovania", "Drovanian Republic")),
+    ("Elmarra", ("Elmarra",)),
+    ("Solvenia", ("Solvenia",)),
+    ("Quorath", ("Quorath",)),
+    ("Brinmore", ("Brinmore",)),
+    ("Valtara", ("Valtara", "Valtaran State")),
+    ("Iskendi", ("Iskendi",)),
+    ("Morvalle", ("Morvalle",)),
+    ("Thessia", ("Thessia",)),
+    ("Lunara", ("Lunara",)),
+    ("Pellago", ("Pellago", "Pellagan Islands")),
+)
+
+CITY_STEMS: tuple[str, ...] = (
+    "Aldersgate", "Brookfield", "Caldera", "Dunmore", "Eastwick", "Fairhaven",
+    "Glenrock", "Harwick", "Ironvale", "Jasperton", "Kingsmere", "Larkspur",
+    "Mirefield", "Northgate", "Oakridge", "Pinecrest", "Quarrytown",
+    "Ravenshollow", "Stonebridge", "Thornbury", "Umberton", "Vexford",
+    "Westmoor", "Yarrowdale", "Zephyr Bay", "Cinderfall", "Duskvale",
+    "Emberlyn", "Frostholm", "Gildenport",
+)
+
+LANGUAGES: tuple[str, ...] = (
+    "Veridian", "Ostanic", "Meridovan", "Kestrel", "Auric", "Tavrish",
+    "Zephyric", "Norhavenic", "Calvessan", "Drovan", "Elmarric", "Solvene",
+    "Quorathi", "Brinmoric", "Valtaric", "Iskendian", "Morvallese",
+    "Thessian", "Lunaric", "Pellagan",
+)
+
+CLUB_WORDS: tuple[str, ...] = (
+    "United", "City", "Rovers", "Athletic", "Wanderers", "Rangers",
+    "Dynamo", "Olympic", "Phoenix", "Sporting",
+)
+
+NATIONALITIES: tuple[str, ...] = (
+    "Veridian", "Ostanian", "Meridovan", "Kestrellian", "Auremontese",
+    "Tavrian",
+)
+
+DECADES: tuple[str, ...] = ("1950s", "1960s", "1970s", "1980s", "1990s", "2000s")
+
+GENRES: tuple[str, ...] = ("drama", "comedy", "thriller", "mystery", "romance")

@@ -1,0 +1,214 @@
+"""Relation store: named binary relations with schemas and ground tuples.
+
+A relation ``B`` has a schema ``B(T1, T2)`` over catalog types and a set of
+tuples ``B(E1, E2)``.  The annotator's φ4 potential needs participation
+statistics (what fraction of ``E(T1)`` appears as a subject of ``B``) and the
+φ5 potential needs fast tuple membership plus functionality tests ("is there a
+tuple ``B(E1, E2')`` with ``E2' != E2``" for one-to-one / many-to-one
+relations).  Both directions are indexed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.catalog.errors import DuplicateIdError, UnknownIdError
+
+
+class Cardinality(enum.Enum):
+    """Cardinality class of a binary relation."""
+
+    MANY_TO_MANY = "many_to_many"
+    ONE_TO_MANY = "one_to_many"
+    MANY_TO_ONE = "many_to_one"
+    ONE_TO_ONE = "one_to_one"
+
+    @property
+    def subject_functional(self) -> bool:
+        """True when each subject has at most one object (1:1 or N:1)."""
+        return self in (Cardinality.ONE_TO_ONE, Cardinality.MANY_TO_ONE)
+
+    @property
+    def object_functional(self) -> bool:
+        """True when each object has at most one subject (1:1 or 1:N)."""
+        return self in (Cardinality.ONE_TO_ONE, Cardinality.ONE_TO_MANY)
+
+
+@dataclass
+class Relation:
+    """Schema-level description of a binary relation ``B(T1, T2)``."""
+
+    relation_id: str
+    subject_type: str
+    object_type: str
+    lemmas: tuple[str, ...] = field(default_factory=tuple)
+    cardinality: Cardinality = Cardinality.MANY_TO_MANY
+
+    def __post_init__(self) -> None:
+        if not self.relation_id:
+            raise ValueError("relation_id must be a non-empty string")
+        self.lemmas = tuple(self.lemmas)
+        if isinstance(self.cardinality, str):
+            self.cardinality = Cardinality(self.cardinality)
+
+
+class RelationStore:
+    """Mutable collection of relations and their tuples."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._tuples: dict[str, set[tuple[str, str]]] = {}
+        self._by_subject: dict[str, dict[str, set[str]]] = {}
+        self._by_object: dict[str, dict[str, set[str]]] = {}
+        self._entity_pair_index: dict[tuple[str, str], set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_relation(
+        self,
+        relation_id: str,
+        subject_type: str,
+        object_type: str,
+        lemmas: Iterable[str] = (),
+        cardinality: Cardinality | str = Cardinality.MANY_TO_MANY,
+    ) -> Relation:
+        if relation_id in self._relations:
+            raise DuplicateIdError("relation", relation_id)
+        relation = Relation(
+            relation_id=relation_id,
+            subject_type=subject_type,
+            object_type=object_type,
+            lemmas=tuple(lemmas),
+            cardinality=(
+                Cardinality(cardinality)
+                if isinstance(cardinality, str)
+                else cardinality
+            ),
+        )
+        self._relations[relation_id] = relation
+        self._tuples[relation_id] = set()
+        self._by_subject[relation_id] = {}
+        self._by_object[relation_id] = {}
+        return relation
+
+    def add_tuple(self, relation_id: str, subject: str, object_: str) -> None:
+        """Record the fact ``relation_id(subject, object_)`` (idempotent)."""
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        pair = (subject, object_)
+        if pair in self._tuples[relation_id]:
+            return
+        self._tuples[relation_id].add(pair)
+        self._by_subject[relation_id].setdefault(subject, set()).add(object_)
+        self._by_object[relation_id].setdefault(object_, set()).add(subject)
+        self._entity_pair_index.setdefault(pair, set()).add(relation_id)
+
+    def remove_tuple(self, relation_id: str, subject: str, object_: str) -> bool:
+        """Delete a tuple; returns ``True`` if it existed.
+
+        The synthetic generator uses this to model catalog incompleteness.
+        """
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        pair = (subject, object_)
+        if pair not in self._tuples[relation_id]:
+            return False
+        self._tuples[relation_id].discard(pair)
+        self._by_subject[relation_id][subject].discard(object_)
+        self._by_object[relation_id][object_].discard(subject)
+        relations = self._entity_pair_index.get(pair)
+        if relations is not None:
+            relations.discard(relation_id)
+            if not relations:
+                del self._entity_pair_index[pair]
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, relation_id: str) -> bool:
+        return relation_id in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def get(self, relation_id: str) -> Relation:
+        try:
+            return self._relations[relation_id]
+        except KeyError:
+            raise UnknownIdError("relation", relation_id) from None
+
+    def tuples(self, relation_id: str) -> frozenset[tuple[str, str]]:
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        return frozenset(self._tuples[relation_id])
+
+    def tuple_count(self, relation_id: str) -> int:
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        return len(self._tuples[relation_id])
+
+    def has_tuple(self, relation_id: str, subject: str, object_: str) -> bool:
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        return (subject, object_) in self._tuples[relation_id]
+
+    def objects_of(self, relation_id: str, subject: str) -> frozenset[str]:
+        """All ``E2`` with ``relation_id(subject, E2)``."""
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        return frozenset(self._by_subject[relation_id].get(subject, frozenset()))
+
+    def subjects_of(self, relation_id: str, object_: str) -> frozenset[str]:
+        """All ``E1`` with ``relation_id(E1, object_)``."""
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        return frozenset(self._by_object[relation_id].get(object_, frozenset()))
+
+    def participating_subjects(self, relation_id: str) -> frozenset[str]:
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        return frozenset(
+            s for s, objs in self._by_subject[relation_id].items() if objs
+        )
+
+    def participating_objects(self, relation_id: str) -> frozenset[str]:
+        if relation_id not in self._relations:
+            raise UnknownIdError("relation", relation_id)
+        return frozenset(o for o, subs in self._by_object[relation_id].items() if subs)
+
+    def relations_between(self, subject: str, object_: str) -> frozenset[str]:
+        """Relation ids with a tuple ``(subject, object_)`` in that order."""
+        return frozenset(self._entity_pair_index.get((subject, object_), frozenset()))
+
+    def all_relations(self) -> list[Relation]:
+        return list(self._relations.values())
+
+    def violates_functionality(
+        self, relation_id: str, subject: str, object_: str
+    ) -> bool:
+        """True when the relation's cardinality contradicts the pair.
+
+        This mirrors the second φ5 feature (paper Section 4.2.5): for a
+        one-to-one or many-to-one relation, a known tuple ``B(subject, E')``
+        with ``E' != object_`` argues *against* labelling the row with
+        ``(subject, object_)``; symmetrically for one-to-many relations.
+        """
+        relation = self.get(relation_id)
+        if relation.cardinality.subject_functional:
+            others = self._by_subject[relation_id].get(subject, ())
+            for existing in others:
+                if existing != object_:
+                    return True
+        if relation.cardinality.object_functional:
+            others = self._by_object[relation_id].get(object_, ())
+            for existing in others:
+                if existing != subject:
+                    return True
+        return False

@@ -1,0 +1,262 @@
+"""Type hierarchy: a DAG of types related by the subtype relation.
+
+The paper (Section 3.1) models types as nodes of a directed acyclic graph
+where an edge ``T2 -> T1`` denotes ``T1 ⊆ T2`` (T1 is a subtype of T2).  We
+store the DAG with parent and child adjacency dictionaries and provide the
+transitive queries the annotator needs: ancestor/descendant closures,
+``is_subtype`` (``⊆*``), root discovery and minimal-element filtering (used by
+the LCA baseline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.catalog.errors import CycleError, DuplicateIdError, UnknownIdError
+
+#: Conventional id of the synthetic root type that reaches all other types.
+ROOT_TYPE_ID = "type:entity"
+
+
+@dataclass
+class Type:
+    """A single type label.
+
+    Attributes:
+        type_id: Unique identifier, e.g. ``"type:physicist"``.
+        lemmas: Alternative textual descriptions of the type (``L(T)`` in the
+            paper).  A lemma is a short token sequence such as
+            ``"english-language films"``.
+    """
+
+    type_id: str
+    lemmas: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.type_id:
+            raise ValueError("type_id must be a non-empty string")
+        self.lemmas = tuple(self.lemmas)
+
+
+class TypeHierarchy:
+    """A mutable DAG of :class:`Type` nodes with subtype edges.
+
+    Edges are expressed as ``add_subtype(child, parent)`` meaning
+    ``child ⊆ parent``.  Cycles are rejected eagerly.
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, Type] = {}
+        self._parents: dict[str, set[str]] = {}
+        self._children: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_type(self, type_id: str, lemmas: Iterable[str] = ()) -> Type:
+        """Register a new type; raises :class:`DuplicateIdError` if present."""
+        if type_id in self._types:
+            raise DuplicateIdError("type", type_id)
+        node = Type(type_id=type_id, lemmas=tuple(lemmas))
+        self._types[type_id] = node
+        self._parents[type_id] = set()
+        self._children[type_id] = set()
+        return node
+
+    def add_lemmas(self, type_id: str, lemmas: Iterable[str]) -> None:
+        """Append lemmas to an existing type (duplicates removed, order kept)."""
+        node = self.get(type_id)
+        merged = list(node.lemmas)
+        for lemma in lemmas:
+            if lemma not in merged:
+                merged.append(lemma)
+        node.lemmas = tuple(merged)
+
+    def add_subtype(self, child: str, parent: str) -> None:
+        """Add an edge asserting ``child ⊆ parent``.
+
+        Raises:
+            UnknownIdError: if either endpoint is unregistered.
+            CycleError: if the edge would create a directed cycle.
+        """
+        if child not in self._types:
+            raise UnknownIdError("type", child)
+        if parent not in self._types:
+            raise UnknownIdError("type", parent)
+        if child == parent or self.is_subtype(parent, child):
+            raise CycleError(child, parent)
+        self._parents[child].add(parent)
+        self._children[parent].add(child)
+
+    def remove_subtype(self, child: str, parent: str) -> bool:
+        """Remove a subtype edge; returns ``True`` if the edge existed."""
+        if parent in self._parents.get(child, ()):
+            self._parents[child].discard(parent)
+            self._children[parent].discard(child)
+            return True
+        return False
+
+    def ensure_root(self, root_id: str = ROOT_TYPE_ID) -> str:
+        """Create (if needed) a root type reaching every current root.
+
+        Mirrors the paper's note: "If not already present, we can create a
+        root type that reaches all other types."
+        """
+        if root_id not in self._types:
+            self.add_type(root_id, lemmas=("entity", "thing"))
+        for type_id in list(self._types):
+            if type_id != root_id and not self._parents[type_id]:
+                self.add_subtype(type_id, root_id)
+        return root_id
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, type_id: str) -> bool:
+        return type_id in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._types)
+
+    def get(self, type_id: str) -> Type:
+        try:
+            return self._types[type_id]
+        except KeyError:
+            raise UnknownIdError("type", type_id) from None
+
+    def lemmas(self, type_id: str) -> tuple[str, ...]:
+        return self.get(type_id).lemmas
+
+    def parents(self, type_id: str) -> frozenset[str]:
+        """Immediate supertypes of ``type_id``."""
+        if type_id not in self._types:
+            raise UnknownIdError("type", type_id)
+        return frozenset(self._parents[type_id])
+
+    def children(self, type_id: str) -> frozenset[str]:
+        """Immediate subtypes of ``type_id``."""
+        if type_id not in self._types:
+            raise UnknownIdError("type", type_id)
+        return frozenset(self._children[type_id])
+
+    def roots(self) -> frozenset[str]:
+        """Types with no parent."""
+        return frozenset(t for t in self._types if not self._parents[t])
+
+    def leaves(self) -> frozenset[str]:
+        """Types with no child type (entities may still attach to them)."""
+        return frozenset(t for t in self._types if not self._children[t])
+
+    def ancestors(self, type_id: str, include_self: bool = False) -> set[str]:
+        """All types ``A`` with ``type_id ⊆* A`` (``⊆+`` if not include_self)."""
+        if type_id not in self._types:
+            raise UnknownIdError("type", type_id)
+        seen: set[str] = {type_id} if include_self else set()
+        queue = deque(self._parents[type_id])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._parents[current])
+        if not include_self:
+            seen.discard(type_id)
+        return seen
+
+    def descendants(self, type_id: str, include_self: bool = False) -> set[str]:
+        """All types ``D`` with ``D ⊆* type_id`` (``⊆+`` if not include_self)."""
+        if type_id not in self._types:
+            raise UnknownIdError("type", type_id)
+        seen: set[str] = {type_id} if include_self else set()
+        queue = deque(self._children[type_id])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._children[current])
+        if not include_self:
+            seen.discard(type_id)
+        return seen
+
+    def is_subtype(self, child: str, parent: str) -> bool:
+        """``child ⊆* parent`` — reflexive-transitive subtype test."""
+        if child not in self._types:
+            raise UnknownIdError("type", child)
+        if parent not in self._types:
+            raise UnknownIdError("type", parent)
+        if child == parent:
+            return True
+        queue = deque(self._parents[child])
+        seen: set[str] = set()
+        while queue:
+            current = queue.popleft()
+            if current == parent:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self._parents[current])
+        return False
+
+    def hops_up(self, child: str, parent: str) -> int | None:
+        """Number of ⊆ edges on the shortest upward path child → parent.
+
+        Returns ``None`` when ``parent`` is not reachable from ``child``.
+        ``hops_up(t, t) == 0``.
+        """
+        if child not in self._types:
+            raise UnknownIdError("type", child)
+        if parent not in self._types:
+            raise UnknownIdError("type", parent)
+        if child == parent:
+            return 0
+        queue: deque[tuple[str, int]] = deque((p, 1) for p in self._parents[child])
+        seen: set[str] = set()
+        while queue:
+            current, depth = queue.popleft()
+            if current == parent:
+                return depth
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend((p, depth + 1) for p in self._parents[current])
+        return None
+
+    def minimal_elements(self, type_ids: Iterable[str]) -> set[str]:
+        """Subset of ``type_ids`` with no *other* member as a descendant.
+
+        Used by the LCA baseline (Section 4.5.1): "any type in this set that
+        does not have a descendant also in this set is a candidate".
+        """
+        candidates = set(type_ids)
+        minimal: set[str] = set()
+        for type_id in candidates:
+            descendants = self.descendants(type_id)
+            if not (descendants & candidates):
+                minimal.add(type_id)
+        return minimal
+
+    def topological_order(self) -> list[str]:
+        """Types ordered parents-before-children (stable w.r.t. insertion)."""
+        in_degree = {t: len(self._parents[t]) for t in self._types}
+        queue = deque(t for t in self._types if in_degree[t] == 0)
+        order: list[str] = []
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for child in sorted(self._children[current]):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._types):
+            raise CycleError("<unknown>", "<unknown>")
+        return order
+
+    def all_types(self) -> list[Type]:
+        return list(self._types.values())

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate-world`` — write a synthetic catalog pair (full + annotator view)
+  and optionally a table corpus to a directory,
+* ``annotate``       — annotate a JSONL table corpus against a catalog and
+  write the annotations as JSON,
+* ``train``          — train model weights on a labeled corpus,
+* ``search``         — answer one relational query over an annotated corpus,
+* ``augment``        — mine new catalog facts from an annotated corpus and
+  optionally write the augmented catalog back out.
+
+All commands are deterministic given their ``--seed`` arguments.  The CLI is
+a thin shell over the library; anything beyond one-shot usage should import
+:mod:`repro` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.catalog.io import load_catalog_json, save_catalog_json
+from repro.catalog.synthetic import SyntheticCatalogConfig, generate_world
+from repro.core.annotator import TableAnnotator
+from repro.core.learning import StructuredTrainer, TrainingConfig
+from repro.core.model import AnnotationModel, default_model
+from repro.search.annotated_search import AnnotatedSearcher
+from repro.search.query import RelationQuery
+from repro.search.table_index import AnnotatedTableIndex
+from repro.tables.corpus import TableCorpus, load_corpus_jsonl, save_corpus_jsonl
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+
+
+def _annotation_to_dict(annotation) -> dict:
+    return {
+        "table_id": annotation.table_id,
+        "cells": {
+            f"{row},{column}": cell.entity_id
+            for (row, column), cell in sorted(annotation.cells.items())
+        },
+        "columns": {
+            str(column): ann.type_id
+            for column, ann in sorted(annotation.columns.items())
+        },
+        "relations": {
+            f"{left},{right}": relation.label
+            for (left, right), relation in sorted(annotation.relations.items())
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_generate_world(args: argparse.Namespace) -> int:
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    config = SyntheticCatalogConfig(seed=args.seed)
+    world = generate_world(config)
+    save_catalog_json(world.full, output / "catalog_full.json")
+    save_catalog_json(world.annotator_view, output / "catalog_view.json")
+    if args.tables:
+        generator = WebTableGenerator(
+            world.full,
+            TableGeneratorConfig(
+                seed=args.seed + 1,
+                n_tables=args.tables,
+                noise=NoiseProfile(args.noise),
+            ),
+        )
+        save_corpus_jsonl(TableCorpus(generator.generate()), output / "corpus.jsonl")
+    print(f"world written to {output}  ({world.full.stats()})")
+    return 0
+
+
+def cmd_annotate(args: argparse.Namespace) -> int:
+    catalog = load_catalog_json(args.catalog)
+    corpus = load_corpus_jsonl(args.corpus)
+    model = AnnotationModel.load(args.model) if args.model else default_model()
+    annotator = TableAnnotator(catalog, model=model)
+    annotations = [
+        _annotation_to_dict(annotator.annotate(labeled.table)) for labeled in corpus
+    ]
+    payload = json.dumps(annotations, indent=1)
+    if args.output:
+        Path(args.output).write_text(payload, encoding="utf-8")
+        print(f"annotated {len(annotations)} tables -> {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    catalog = load_catalog_json(args.catalog)
+    corpus = load_corpus_jsonl(args.corpus)
+    annotator = TableAnnotator(catalog, model=default_model())
+    trainer = StructuredTrainer(
+        annotator,
+        TrainingConfig(epochs=args.epochs, seed=args.seed),
+    )
+    model = trainer.train(list(corpus))
+    model.save(args.output)
+    final_loss = trainer.history[-1]["hamming_loss"] if trainer.history else 0.0
+    print(f"trained on {len(corpus)} tables; final epoch hamming loss "
+          f"{final_loss:.0f}; model -> {args.output}")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    catalog = load_catalog_json(args.catalog)
+    corpus = load_corpus_jsonl(args.corpus)
+    model = AnnotationModel.load(args.model) if args.model else default_model()
+    annotator = TableAnnotator(catalog, model=model)
+    index = AnnotatedTableIndex(catalog=catalog)
+    for labeled in corpus:
+        index.add_table(labeled.table, annotator.annotate(labeled.table))
+    index.freeze()
+    query = RelationQuery.from_catalog(catalog, args.relation, args.entity)
+    searcher = AnnotatedSearcher(
+        index, catalog, use_relations=not args.no_relations
+    )
+    response = searcher.search(query)
+    print(f"{len(response.answers)} answers "
+          f"({response.tables_considered} tables considered)")
+    for answer in response.answers[: args.top_k]:
+        print(f"  {answer.score:8.3f}  {answer.text:40}  {answer.entity_id or ''}")
+    return 0
+
+
+def cmd_augment(args: argparse.Namespace) -> int:
+    from repro.core.augmentation import CatalogAugmenter
+
+    catalog = load_catalog_json(args.catalog)
+    corpus = load_corpus_jsonl(args.corpus)
+    model = AnnotationModel.load(args.model) if args.model else default_model()
+    annotator = TableAnnotator(catalog, model=model)
+    augmenter = CatalogAugmenter(catalog, min_confidence=args.min_confidence)
+    for labeled in corpus:
+        augmenter.add_annotated_table(annotator.annotate(labeled.table))
+    report = augmenter.report()
+    print(
+        f"{len(report.tuples)} tuple proposals, "
+        f"{len(report.instance_links)} instance-link proposals"
+    )
+    for proposal in report.tuples[: args.top_k]:
+        print(
+            f"  {proposal.relation_id}({proposal.subject}, {proposal.object_}) "
+            f"support={proposal.support} conf={proposal.confidence:.2f}"
+        )
+    if args.output:
+        counts = report.apply_to(catalog, min_support=args.min_support)
+        save_catalog_json(catalog, args.output)
+        print(
+            f"applied {counts['tuples']} tuples and "
+            f"{counts['instance_links']} links -> {args.output}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Web-table annotation and search (Limaye et al., VLDB 2010)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate-world", help="write a synthetic catalog (and corpus)"
+    )
+    generate.add_argument("--output", required=True, help="output directory")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--tables", type=int, default=0, help="also generate N labeled tables"
+    )
+    generate.add_argument(
+        "--noise", choices=[p.value for p in NoiseProfile], default="web"
+    )
+    generate.set_defaults(handler=cmd_generate_world)
+
+    annotate = subparsers.add_parser("annotate", help="annotate a JSONL corpus")
+    annotate.add_argument("--catalog", required=True)
+    annotate.add_argument("--corpus", required=True)
+    annotate.add_argument("--model", default=None)
+    annotate.add_argument("--output", default=None)
+    annotate.set_defaults(handler=cmd_annotate)
+
+    train = subparsers.add_parser("train", help="train model weights")
+    train.add_argument("--catalog", required=True)
+    train.add_argument("--corpus", required=True, help="labeled JSONL corpus")
+    train.add_argument("--output", required=True, help="model JSON path")
+    train.add_argument("--epochs", type=int, default=3)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(handler=cmd_train)
+
+    search = subparsers.add_parser("search", help="answer a relational query")
+    search.add_argument("--catalog", required=True)
+    search.add_argument("--corpus", required=True)
+    search.add_argument("--model", default=None)
+    search.add_argument("--relation", required=True, help="e.g. rel:directed")
+    search.add_argument("--entity", required=True, help="the given E2 entity id")
+    search.add_argument("--top-k", type=int, default=10)
+    search.add_argument(
+        "--no-relations",
+        action="store_true",
+        help="type-only search (paper Figure 4 without relation filtering)",
+    )
+    search.set_defaults(handler=cmd_search)
+
+    augment = subparsers.add_parser(
+        "augment", help="mine new catalog facts from an annotated corpus"
+    )
+    augment.add_argument("--catalog", required=True)
+    augment.add_argument("--corpus", required=True)
+    augment.add_argument("--model", default=None)
+    augment.add_argument(
+        "--output", default=None, help="write the augmented catalog here"
+    )
+    augment.add_argument("--min-confidence", type=float, default=0.5)
+    augment.add_argument("--min-support", type=int, default=1)
+    augment.add_argument("--top-k", type=int, default=10)
+    augment.set_defaults(handler=cmd_augment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Annotation result objects.
+
+``None`` as a label uniformly means the paper's ``na`` ("no annotation").
+Scores are log-belief margins from inference: the gap between the chosen
+label and the runner-up, usable for ranking and confidence thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CellAnnotation:
+    """Entity annotation of one cell."""
+
+    row: int
+    column: int
+    entity_id: str | None
+    score: float = 0.0
+
+
+@dataclass(frozen=True)
+class ColumnAnnotation:
+    """Type annotation of one column."""
+
+    column: int
+    type_id: str | None
+    score: float = 0.0
+
+
+@dataclass(frozen=True)
+class RelationAnnotation:
+    """Relation annotation of an ordered column pair ``(left < right)``.
+
+    ``label`` is a relation id, optionally carrying the ``^-1`` suffix when
+    the relation reads right-to-left across the pair (see
+    :mod:`repro.tables.generator`); ``None`` means na.
+    """
+
+    left_column: int
+    right_column: int
+    label: str | None
+    score: float = 0.0
+
+
+@dataclass
+class TableAnnotation:
+    """Full annotation of one table plus inference diagnostics."""
+
+    table_id: str
+    cells: dict[tuple[int, int], CellAnnotation] = field(default_factory=dict)
+    columns: dict[int, ColumnAnnotation] = field(default_factory=dict)
+    relations: dict[tuple[int, int], RelationAnnotation] = field(default_factory=dict)
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    def entity_of(self, row: int, column: int) -> str | None:
+        annotation = self.cells.get((row, column))
+        return annotation.entity_id if annotation else None
+
+    def type_of(self, column: int) -> str | None:
+        annotation = self.columns.get(column)
+        return annotation.type_id if annotation else None
+
+    def relation_of(self, left: int, right: int) -> str | None:
+        annotation = self.relations.get((left, right))
+        return annotation.label if annotation else None
+
+    def columns_with_type(self, type_id: str) -> list[int]:
+        """Columns annotated with exactly ``type_id`` (used by search)."""
+        return [
+            column
+            for column, annotation in self.columns.items()
+            if annotation.type_id == type_id
+        ]

@@ -1,0 +1,241 @@
+"""Catalog augmentation from annotated tables.
+
+The paper's conclusion: "Socially maintained catalogs will always be
+incomplete.  Our work paves the way to augment catalogs with dynamic
+relational information."  This module implements that step: given a corpus of
+tables and their annotations, it proposes
+
+* **relation tuples** ``B(E1, E2)`` — from rows of column pairs annotated
+  with relation ``B`` whose two cells both carry entity annotations, and
+* **instance links** ``E ∈ T`` — from cells annotated ``E`` in columns
+  annotated ``T`` where the catalog does not (transitively) know ``E ∈+ T``,
+
+each with a support count (how many independent table rows assert it) and an
+aggregate confidence from the annotation scores.  Facts already known to the
+catalog are filtered out, so the output is exactly the *new* knowledge the
+corpus contributes ("the seed tuples we start with in our catalog are only a
+small fraction of all the tuples we find").
+
+Because the synthetic world keeps the uncorrupted catalog around, tests and
+the augmentation bench can measure precision/recall of the proposals against
+the links and tuples that were deliberately dropped from the annotator view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.core.annotation import TableAnnotation
+from repro.tables.generator import base_relation
+
+
+@dataclass(frozen=True)
+class TupleProposal:
+    """A proposed new relation tuple with its evidence."""
+
+    relation_id: str
+    subject: str
+    object_: str
+    support: int
+    confidence: float
+    source_tables: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InstanceLinkProposal:
+    """A proposed new ``E ∈ T`` link with its evidence."""
+
+    entity_id: str
+    type_id: str
+    support: int
+    confidence: float
+    source_tables: tuple[str, ...]
+
+
+@dataclass
+class AugmentationReport:
+    """All proposals mined from one corpus."""
+
+    tuples: list[TupleProposal] = field(default_factory=list)
+    instance_links: list[InstanceLinkProposal] = field(default_factory=list)
+
+    def apply_to(self, catalog: Catalog, min_support: int = 1) -> dict[str, int]:
+        """Write sufficiently-supported proposals into ``catalog``.
+
+        Returns counts of applied facts.  Only proposals whose relation /
+        type / entities all exist in the target catalog are applied.
+        """
+        applied_tuples = applied_links = 0
+        for proposal in self.tuples:
+            if proposal.support < min_support:
+                continue
+            if proposal.relation_id not in catalog.relations:
+                continue
+            if (
+                proposal.subject not in catalog.entities
+                or proposal.object_ not in catalog.entities
+            ):
+                continue
+            catalog.add_tuple(proposal.relation_id, proposal.subject, proposal.object_)
+            applied_tuples += 1
+        for proposal in self.instance_links:
+            if proposal.support < min_support:
+                continue
+            if (
+                proposal.type_id not in catalog.types
+                or proposal.entity_id not in catalog.entities
+            ):
+                continue
+            catalog.entities.add_direct_type(proposal.entity_id, proposal.type_id)
+            applied_links += 1
+        catalog.invalidate_caches()
+        return {"tuples": applied_tuples, "instance_links": applied_links}
+
+
+class CatalogAugmenter:
+    """Mines new facts from (table, annotation) pairs against one catalog."""
+
+    def __init__(self, catalog: Catalog, min_confidence: float = 0.0) -> None:
+        self.catalog = catalog
+        self.min_confidence = min_confidence
+        self._tuple_support: dict[tuple[str, str, str], list[tuple[str, float]]] = {}
+        self._link_support: dict[tuple[str, str], list[tuple[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def add_annotated_table(self, annotation: TableAnnotation) -> None:
+        """Accumulate evidence from one annotated table."""
+        self._mine_tuples(annotation)
+        self._mine_instance_links(annotation)
+
+    def _mine_tuples(self, annotation: TableAnnotation) -> None:
+        for (left, right), relation in annotation.relations.items():
+            if relation.label is None:
+                continue
+            relation_id, reverse = base_relation(relation.label)
+            if relation_id not in self.catalog.relations:
+                continue
+            subject_column, object_column = (
+                (right, left) if reverse else (left, right)
+            )
+            n_rows = max(
+                (row for row, _c in annotation.cells), default=-1
+            ) + 1
+            for row in range(n_rows):
+                subject_cell = annotation.cells.get((row, subject_column))
+                object_cell = annotation.cells.get((row, object_column))
+                if subject_cell is None or object_cell is None:
+                    continue
+                subject = subject_cell.entity_id
+                object_ = object_cell.entity_id
+                if subject is None or object_ is None:
+                    continue
+                if self.catalog.relations.has_tuple(relation_id, subject, object_):
+                    continue  # already known: not new knowledge
+                # A proposed fact is only as trustworthy as its *least*
+                # certain ingredient: the two cell disambiguations and the
+                # pair's relation label (scores are belief margins).
+                confidence = max(
+                    min(relation.score, subject_cell.score, object_cell.score),
+                    0.0,
+                )
+                self._tuple_support.setdefault(
+                    (relation_id, subject, object_), []
+                ).append((annotation.table_id, confidence))
+
+    def _mine_instance_links(self, annotation: TableAnnotation) -> None:
+        for (row, column), cell in annotation.cells.items():
+            if cell.entity_id is None:
+                continue
+            column_annotation = annotation.columns.get(column)
+            if column_annotation is None or column_annotation.type_id is None:
+                continue
+            type_id = column_annotation.type_id
+            if cell.entity_id not in self.catalog.entities:
+                continue
+            if self.catalog.is_instance(cell.entity_id, type_id):
+                continue  # already reachable: not a missing link
+            confidence = max(min(cell.score, column_annotation.score), 0.0)
+            self._link_support.setdefault((cell.entity_id, type_id), []).append(
+                (annotation.table_id, confidence)
+            )
+
+    # ------------------------------------------------------------------
+    def report(self) -> AugmentationReport:
+        """Aggregate the accumulated evidence into ranked proposals."""
+        report = AugmentationReport()
+        for (relation_id, subject, object_), evidence in sorted(
+            self._tuple_support.items()
+        ):
+            confidence = sum(score for _t, score in evidence) / len(evidence)
+            if confidence < self.min_confidence:
+                continue
+            report.tuples.append(
+                TupleProposal(
+                    relation_id=relation_id,
+                    subject=subject,
+                    object_=object_,
+                    support=len(evidence),
+                    confidence=confidence,
+                    source_tables=tuple(sorted({t for t, _s in evidence})),
+                )
+            )
+        for (entity_id, type_id), evidence in sorted(self._link_support.items()):
+            confidence = sum(score for _t, score in evidence) / len(evidence)
+            if confidence < self.min_confidence:
+                continue
+            report.instance_links.append(
+                InstanceLinkProposal(
+                    entity_id=entity_id,
+                    type_id=type_id,
+                    support=len(evidence),
+                    confidence=confidence,
+                    source_tables=tuple(sorted({t for t, _s in evidence})),
+                )
+            )
+        report.tuples.sort(key=lambda p: (-p.support, -p.confidence, p.relation_id))
+        report.instance_links.sort(
+            key=lambda p: (-p.support, -p.confidence, p.entity_id)
+        )
+        return report
+
+
+def recovered_fraction(
+    proposals: list[TupleProposal],
+    truth_catalog: Catalog,
+    view_catalog: Catalog,
+) -> dict[str, float]:
+    """Precision/recall of tuple proposals against the dropped tuples.
+
+    A proposal is *correct* when the tuple exists in ``truth_catalog``; the
+    recall denominator is the set of tuples present in the truth but missing
+    from the annotator's ``view_catalog``.
+    """
+    correct = sum(
+        1
+        for proposal in proposals
+        if truth_catalog.relations.has_tuple(
+            proposal.relation_id, proposal.subject, proposal.object_
+        )
+    )
+    dropped = 0
+    recovered = 0
+    proposed = {
+        (proposal.relation_id, proposal.subject, proposal.object_)
+        for proposal in proposals
+    }
+    for relation_id in truth_catalog.relations:
+        if relation_id not in view_catalog.relations:
+            continue
+        for subject, object_ in truth_catalog.relations.tuples(relation_id):
+            if view_catalog.relations.has_tuple(relation_id, subject, object_):
+                continue
+            dropped += 1
+            if (relation_id, subject, object_) in proposed:
+                recovered += 1
+    return {
+        "proposals": float(len(proposals)),
+        "precision": correct / len(proposals) if proposals else 0.0,
+        "recall_of_dropped": recovered / dropped if dropped else 0.0,
+        "dropped": float(dropped),
+    }

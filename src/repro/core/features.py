@@ -1,0 +1,226 @@
+"""The five feature families of the paper (Section 4.2).
+
+Every family returns a fixed-length :mod:`numpy` vector; the corresponding
+potential is the dot product with a trained weight vector (log-linear model).
+The paper's convention "no feature is fired if label na is involved" is
+honoured by the callers: na rows/columns of potential tables are identically
+zero, so each feature family here is only evaluated for concrete labels.
+
+Each non-unary-signal family also carries a trailing **bias** feature that is
+1.0 for every concrete label.  With a (learned) negative weight this is what
+lets ``na`` — whose score is pinned at 0 — win over weak positive evidence.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.tables.generator import base_relation
+from repro.text.similarity import cosine_tfidf, dice, jaccard, soft_tfidf
+from repro.text.tfidf import TfidfWeights
+
+#: Feature names, index-aligned with the vectors produced below.
+F1_FEATURE_NAMES = ("cosine", "soft_tfidf", "jaccard", "dice", "exact", "bias")
+F2_FEATURE_NAMES = ("cosine", "soft_tfidf", "jaccard", "dice", "exact", "bias")
+F3_FEATURE_NAMES = ("distance_compatibility", "idf_specificity", "contained")
+F4_FEATURE_NAMES = ("schema_match", "subject_participation", "object_participation", "bias")
+F5_FEATURE_NAMES = ("tuple_exists", "functional_violation")
+
+
+class TypeEntityFeatureMode(enum.Enum):
+    """The three type-entity compatibility settings of the paper's Figure 8."""
+
+    INV_SQRT_DIST = "inv_sqrt_dist"
+    INV_DIST = "inv_dist"
+    IDF = "idf"
+
+
+# ----------------------------------------------------------------------
+# f1 / f2: text-vs-lemma similarity batteries
+# ----------------------------------------------------------------------
+def text_lemma_features(
+    text: str,
+    lemmas: tuple[str, ...],
+    weights: TfidfWeights | None,
+) -> np.ndarray:
+    """Similarity battery between a text span and a lemma set.
+
+    Used both as f1 (cell text vs entity lemmas, Section 4.2.1) and f2
+    (header text vs type lemmas, Section 4.2.2).  Each similarity takes the
+    **max over lemmas**, the paper's ``max_{l in L(E)} sim(D_rc, l)``.
+    """
+    vector = np.zeros(len(F1_FEATURE_NAMES))
+    vector[-1] = 1.0  # bias for a concrete (non-na) label
+    if not text or not lemmas:
+        return vector
+    best_cosine = best_soft = best_jaccard = best_dice = 0.0
+    exact = 0.0
+    text_folded = text.strip().lower()
+    for lemma in lemmas:
+        best_cosine = max(best_cosine, cosine_tfidf(text, lemma, weights))
+        best_soft = max(best_soft, soft_tfidf(text, lemma, weights))
+        best_jaccard = max(best_jaccard, jaccard(text, lemma))
+        best_dice = max(best_dice, dice(text, lemma))
+        if text_folded == lemma.strip().lower():
+            exact = 1.0
+    vector[0] = best_cosine
+    vector[1] = best_soft
+    vector[2] = best_jaccard
+    vector[3] = best_dice
+    vector[4] = exact
+    return vector
+
+
+def header_absent_features() -> np.ndarray:
+    """f2 when the column has no header: all-zero (the signal is silent).
+
+    Note the bias is also zero — a missing header should neither favour nor
+    penalise concrete types; φ3 carries the column-type decision alone.
+    """
+    return np.zeros(len(F2_FEATURE_NAMES))
+
+
+# ----------------------------------------------------------------------
+# f3: column type vs cell entity (Section 4.2.3)
+# ----------------------------------------------------------------------
+def type_entity_features(
+    catalog: Catalog,
+    type_id: str,
+    entity_id: str,
+    mode: TypeEntityFeatureMode,
+) -> np.ndarray:
+    """Compatibility of labelling a column ``type_id`` and a cell ``entity_id``.
+
+    Section 4.2.3 describes two specificity signals — the IDF-style
+    ``|E| / |E(T)|`` (type-level) and the reciprocal distance between entity
+    and type — plus a damped ``1/sqrt(dist)`` variant.  The three Figure-8
+    settings select the distance form:
+
+    * ``INV_DIST`` — distance feature is ``1 / dist(E, T)``,
+    * ``INV_SQRT_DIST`` — distance feature is ``1 / sqrt(dist(E, T))``,
+    * ``IDF`` — no distance feature at all (specificity carries everything),
+
+    and the (normalised log) IDF specificity feature is always present.  When
+    ``E ∉+ T`` the *missing-link repair* applies to both: the distance is
+    rebuilt from ``min_{E' ∈ E(T)} dist(E', T)`` and every signal is scaled
+    by the relatedness ``min_{T' ∋ E} |E(T') ∩ E(T)| / |E(T')|`` — a hint
+    that the catalog link was probably missed, not proof (paper
+    Section 4.2.3, "Missing links").
+    """
+    distance = catalog.distance(entity_id, type_id)
+    contained = math.isfinite(distance)
+    if contained:
+        scale = 1.0
+        effective_distance = distance
+    else:
+        scale = catalog.relatedness(entity_id, type_id)
+        effective_distance = catalog.min_instance_distance(type_id)
+        if not math.isfinite(effective_distance):
+            scale = 0.0
+            effective_distance = 1.0
+    if mode is TypeEntityFeatureMode.INV_DIST:
+        distance_compat = scale / max(effective_distance, 1.0)
+    elif mode is TypeEntityFeatureMode.INV_SQRT_DIST:
+        distance_compat = scale / math.sqrt(max(effective_distance, 1.0))
+    else:  # IDF: specificity alone
+        distance_compat = 0.0
+    idf_specificity = scale * _normalised_idf(catalog, type_id)
+    return np.array([distance_compat, idf_specificity, 1.0 if contained else 0.0])
+
+
+def _normalised_idf(catalog: Catalog, type_id: str) -> float:
+    """Type IDF specificity squashed into [0, 1]."""
+    maximum = math.log(max(len(catalog.entities), 2))
+    return catalog.type_idf_specificity(type_id) / maximum
+
+
+# ----------------------------------------------------------------------
+# f4: relation vs pair of column types (Section 4.2.4)
+# ----------------------------------------------------------------------
+def relation_types_features(
+    catalog: Catalog,
+    relation_label: str,
+    left_type: str,
+    right_type: str,
+) -> np.ndarray:
+    """Compatibility of a relation label with a column-type pair.
+
+    ``relation_label`` may carry the ``^-1`` suffix, in which case the
+    subject role belongs to ``right_type``.  The schema feature is 1 when the
+    (role-ordered) column types are subtypes of the relation's schema types —
+    column types are typically *more specific* than schema types, so the
+    subtype check generalises the paper's exact "schema exists" indicator.
+
+    Participation features approximate the paper's "fraction of entities
+    under tc that appear in relationship bcc'" with participation in the
+    relation against *any* entity (cacheable per (relation, type) instead of
+    per type pair); the approximation is exact whenever the partner column
+    covers the relation's full active domain.
+    """
+    relation_id, reverse = base_relation(relation_label)
+    relation = catalog.relations.get(relation_id)
+    subject_type, object_type = (
+        (right_type, left_type) if reverse else (left_type, right_type)
+    )
+    schema_match = float(
+        catalog.types.is_subtype(subject_type, relation.subject_type)
+        and catalog.types.is_subtype(object_type, relation.object_type)
+    )
+    return np.array(
+        [
+            schema_match,
+            participation_fraction(catalog, relation_id, subject_type, "subject"),
+            participation_fraction(catalog, relation_id, object_type, "object"),
+            1.0,
+        ]
+    )
+
+
+def participation_fraction(
+    catalog: Catalog, relation_id: str, type_id: str, role: str
+) -> float:
+    """Fraction of ``E(type_id)`` participating in ``relation_id`` as ``role``."""
+    members = catalog.entities_of_type(type_id)
+    if not members:
+        return 0.0
+    if role == "subject":
+        participants = catalog.relations.participating_subjects(relation_id)
+    elif role == "object":
+        participants = catalog.relations.participating_objects(relation_id)
+    else:
+        raise ValueError(f"unknown role: {role!r}")
+    return len(members & participants) / len(members)
+
+
+# ----------------------------------------------------------------------
+# f5: relation vs entity pair (Section 4.2.5)
+# ----------------------------------------------------------------------
+def relation_entities_features(
+    catalog: Catalog,
+    relation_label: str,
+    left_entity: str,
+    right_entity: str,
+) -> np.ndarray:
+    """Row-level vote of an entity pair for/against a relation label.
+
+    Feature 0 is 1 when the catalog contains the (role-ordered) tuple.
+    Feature 1 is the paper's functionality contradiction: for a one-to-one or
+    many-to-one relation, a catalog tuple pairing this subject with a
+    *different* object (and symmetrically for one-to-many) — evidence
+    *against* the label, so its trained weight is negative.
+    """
+    relation_id, reverse = base_relation(relation_label)
+    subject, object_ = (
+        (right_entity, left_entity) if reverse else (left_entity, right_entity)
+    )
+    exists = float(catalog.relations.has_tuple(relation_id, subject, object_))
+    violation = 0.0
+    if not exists and catalog.relations.violates_functionality(
+        relation_id, subject, object_
+    ):
+        violation = 1.0
+    return np.array([exists, violation])

@@ -1,0 +1,172 @@
+"""Trainable weight container for the log-linear annotation model.
+
+The joint distribution of the paper's equation (1) is a product of five
+potential families, each ``exp(w_k · f_k)``.  :class:`AnnotationModel` holds
+the five weight vectors plus the type-entity compatibility mode (the paper's
+Figure 8 ablation axis) and round-trips to JSON.
+
+``default_model`` provides hand-set weights that work reasonably before
+training; :mod:`repro.core.learning` replaces them with trained values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.features import (
+    F1_FEATURE_NAMES,
+    F2_FEATURE_NAMES,
+    F3_FEATURE_NAMES,
+    F4_FEATURE_NAMES,
+    F5_FEATURE_NAMES,
+    TypeEntityFeatureMode,
+)
+
+FORMAT_VERSION = 1
+
+#: (family name, feature names) in canonical concatenation order.
+FAMILY_LAYOUT: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("w1", F1_FEATURE_NAMES),
+    ("w2", F2_FEATURE_NAMES),
+    ("w3", F3_FEATURE_NAMES),
+    ("w4", F4_FEATURE_NAMES),
+    ("w5", F5_FEATURE_NAMES),
+)
+
+
+@dataclass
+class AnnotationModel:
+    """Weights ``w1..w5`` and the f3 compatibility mode."""
+
+    w1: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(F1_FEATURE_NAMES))
+    )
+    w2: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(F2_FEATURE_NAMES))
+    )
+    w3: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(F3_FEATURE_NAMES))
+    )
+    w4: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(F4_FEATURE_NAMES))
+    )
+    w5: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(F5_FEATURE_NAMES))
+    )
+    mode: TypeEntityFeatureMode = TypeEntityFeatureMode.INV_SQRT_DIST
+
+    def __post_init__(self) -> None:
+        for name, expected in FAMILY_LAYOUT:
+            vector = np.asarray(getattr(self, name), dtype=float)
+            if vector.shape != (len(expected),):
+                raise ValueError(
+                    f"{name} must have {len(expected)} weights "
+                    f"({', '.join(expected)}); got shape {vector.shape}"
+                )
+            setattr(self, name, vector)
+        if isinstance(self.mode, str):
+            self.mode = TypeEntityFeatureMode(self.mode)
+
+    # ------------------------------------------------------------------
+    # flat-vector view (used by the structured learner)
+    # ------------------------------------------------------------------
+    def as_flat(self) -> np.ndarray:
+        """All weights concatenated in :data:`FAMILY_LAYOUT` order."""
+        return np.concatenate([getattr(self, name) for name, _f in FAMILY_LAYOUT])
+
+    @classmethod
+    def from_flat(
+        cls,
+        flat: np.ndarray,
+        mode: TypeEntityFeatureMode = TypeEntityFeatureMode.INV_SQRT_DIST,
+    ) -> "AnnotationModel":
+        """Inverse of :meth:`as_flat`."""
+        parts: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, feature_names in FAMILY_LAYOUT:
+            width = len(feature_names)
+            parts[name] = np.asarray(flat[offset : offset + width], dtype=float)
+            offset += width
+        if offset != len(flat):
+            raise ValueError(
+                f"flat vector has {len(flat)} weights, expected {offset}"
+            )
+        return cls(mode=mode, **parts)
+
+    @staticmethod
+    def flat_size() -> int:
+        return sum(len(features) for _name, features in FAMILY_LAYOUT)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "format_version": FORMAT_VERSION,
+            "mode": self.mode.value,
+        }
+        for name, feature_names in FAMILY_LAYOUT:
+            payload[name] = dict(
+                zip(feature_names, (float(x) for x in getattr(self, name)))
+            )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "AnnotationModel":
+        version = payload.get("format_version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported model format version: {version}")
+        kwargs: dict[str, Any] = {
+            "mode": TypeEntityFeatureMode(payload.get("mode", "inv_sqrt_dist"))
+        }
+        for name, feature_names in FAMILY_LAYOUT:
+            entries = payload[name]
+            kwargs[name] = np.array([entries[feature] for feature in feature_names])
+        return cls(**kwargs)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=1), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AnnotationModel":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def copy(self) -> "AnnotationModel":
+        return AnnotationModel(
+            w1=self.w1.copy(),
+            w2=self.w2.copy(),
+            w3=self.w3.copy(),
+            w4=self.w4.copy(),
+            w5=self.w5.copy(),
+            mode=self.mode,
+        )
+
+
+def default_model(
+    mode: TypeEntityFeatureMode = TypeEntityFeatureMode.INV_SQRT_DIST,
+) -> AnnotationModel:
+    """Hand-set weights usable before any training.
+
+    The signs encode the obvious priors: similarity features positive, na
+    biases negative (concrete labels must *earn* their score), functionality
+    violations negative.
+    """
+    return AnnotationModel(
+        #            cosine soft  jac   dice  exact bias
+        w1=np.array([2.0,   1.0,  0.5,  0.5,  1.0,  -1.6]),
+        w2=np.array([1.0,   0.5,  0.25, 0.25, 0.5,  -0.5]),
+        #            dist   idf   contained
+        w3=np.array([1.5,   1.0,  0.5]),
+        #            schema subj_part obj_part bias
+        w4=np.array([1.0,   0.5,      0.5,     -0.75]),
+        #            tuple  violation
+        w5=np.array([2.0,   -1.0]),
+        mode=mode,
+    )

@@ -1,0 +1,511 @@
+"""Per-table annotation problems: candidate spaces, feature caches, graphs.
+
+An :class:`AnnotationProblem` is everything about one table that does *not*
+depend on the model weights: the candidate label spaces (``Erc``, ``Tc``,
+``Bcc'`` — each with ``na`` at domain position 0) and the raw feature arrays
+for every concrete label combination.  Given a weight vector the problem is
+turned into a :class:`~repro.graph.factor_graph.FactorGraph` (potentials are
+dot products) in :func:`build_factor_graph`, and — for the structured
+learner — any full assignment is turned into its joint feature vector in
+:func:`joint_feature_vector`.
+
+Separating the two matters twice: feature extraction dominates runtime (the
+paper's Figure 7: ~80% lemma probing + similarities, <1% inference), and the
+learner re-scores the same problem under many weight vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.core.candidates import CandidateEntity, CandidateGenerator
+from repro.core.features import (
+    TypeEntityFeatureMode,
+    relation_entities_features,
+    text_lemma_features,
+    header_absent_features,
+    type_entity_features,
+)
+from repro.core.model import AnnotationModel
+from repro.graph.factor_graph import FactorGraph
+from repro.tables.generator import base_relation
+from repro.tables.model import Table
+
+#: The "no annotation" label; always domain position 0.
+NA = None
+
+
+class FeatureComputer:
+    """Feature evaluation against one catalog, with cross-table memoisation."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        mode: TypeEntityFeatureMode,
+        generator: CandidateGenerator,
+    ) -> None:
+        self.catalog = catalog
+        self.mode = mode
+        self.generator = generator
+        self._f3_cache: dict[tuple[str, str], np.ndarray] = {}
+        self._f4_side_cache: dict[tuple[str, str], tuple[float, float, float, float]] = {}
+
+    # -- f1 / f2 --------------------------------------------------------
+    def f1(self, cell_text: str, entity_id: str) -> np.ndarray:
+        lemmas = self.catalog.entities.lemmas(entity_id)
+        return text_lemma_features(cell_text, lemmas, self.generator.lemma_tfidf)
+
+    def f2(self, header_text: str | None, type_id: str) -> np.ndarray:
+        if header_text is None or not header_text.strip():
+            return header_absent_features()
+        lemmas = self.catalog.types.lemmas(type_id)
+        return text_lemma_features(header_text, lemmas, self.generator.lemma_tfidf)
+
+    # -- f3 ---------------------------------------------------------------
+    def f3(self, type_id: str, entity_id: str) -> np.ndarray:
+        key = (type_id, entity_id)
+        cached = self._f3_cache.get(key)
+        if cached is None:
+            cached = type_entity_features(self.catalog, type_id, entity_id, self.mode)
+            self._f3_cache[key] = cached
+        return cached
+
+    # -- f4 ---------------------------------------------------------------
+    def f4_sides(
+        self, relation_id: str, type_id: str
+    ) -> tuple[float, float, float, float]:
+        """Cached per-(relation, type) pieces of f4.
+
+        Returns ``(is_sub_of_subject_schema, is_sub_of_object_schema,
+        subject_participation, object_participation)``; f4 for a pair of
+        types is composed from two of these tuples in
+        :meth:`f4_table`.
+        """
+        key = (relation_id, type_id)
+        cached = self._f4_side_cache.get(key)
+        if cached is None:
+            relation = self.catalog.relations.get(relation_id)
+            members = self.catalog.entities_of_type(type_id)
+            subjects = self.catalog.relations.participating_subjects(relation_id)
+            objects = self.catalog.relations.participating_objects(relation_id)
+            denominator = max(len(members), 1)
+            cached = (
+                float(self.catalog.types.is_subtype(type_id, relation.subject_type)),
+                float(self.catalog.types.is_subtype(type_id, relation.object_type)),
+                len(members & subjects) / denominator,
+                len(members & objects) / denominator,
+            )
+            self._f4_side_cache[key] = cached
+        return cached
+
+    def f4_table(
+        self,
+        relation_labels: tuple[str, ...],
+        left_types: tuple[str, ...],
+        right_types: tuple[str, ...],
+    ) -> np.ndarray:
+        """Dense f4 array, shape (n_labels, n_left, n_right, 4)."""
+        table = np.zeros((len(relation_labels), len(left_types), len(right_types), 4))
+        for b_index, label in enumerate(relation_labels):
+            relation_id, reverse = base_relation(label)
+            left_sides = [self.f4_sides(relation_id, t) for t in left_types]
+            right_sides = [self.f4_sides(relation_id, t) for t in right_types]
+            if reverse:
+                # subject role lives on the right column
+                subj_ind = np.array([s[0] for s in right_sides])
+                obj_ind = np.array([s[1] for s in left_sides])
+                subj_part = np.array([s[2] for s in right_sides])
+                obj_part = np.array([s[3] for s in left_sides])
+                table[b_index, :, :, 0] = np.outer(obj_ind, subj_ind)
+                table[b_index, :, :, 1] = np.broadcast_to(
+                    subj_part[None, :], (len(left_types), len(right_types))
+                )
+                table[b_index, :, :, 2] = np.broadcast_to(
+                    obj_part[:, None], (len(left_types), len(right_types))
+                )
+            else:
+                subj_ind = np.array([s[0] for s in left_sides])
+                obj_ind = np.array([s[1] for s in right_sides])
+                subj_part = np.array([s[2] for s in left_sides])
+                obj_part = np.array([s[3] for s in right_sides])
+                table[b_index, :, :, 0] = np.outer(subj_ind, obj_ind)
+                table[b_index, :, :, 1] = np.broadcast_to(
+                    subj_part[:, None], (len(left_types), len(right_types))
+                )
+                table[b_index, :, :, 2] = np.broadcast_to(
+                    obj_part[None, :], (len(left_types), len(right_types))
+                )
+            table[b_index, :, :, 3] = 1.0
+        return table
+
+    # -- f5 ---------------------------------------------------------------
+    def f5(self, label: str, left_entity: str, right_entity: str) -> np.ndarray:
+        return relation_entities_features(
+            self.catalog, label, left_entity, right_entity
+        )
+
+
+@dataclass
+class CellSpace:
+    """Candidate space and f1 features of one cell."""
+
+    row: int
+    column: int
+    text: str
+    candidates: list[CandidateEntity]
+    #: domain = (NA,) + concrete entity ids
+    labels: tuple[str | None, ...]
+    #: f1 features of concrete labels, shape (n_concrete, |f1|)
+    f1: np.ndarray
+
+    @property
+    def variable_name(self) -> str:
+        return f"e:{self.row},{self.column}"
+
+
+@dataclass
+class ColumnSpace:
+    """Candidate space and f2/f3 features of one column."""
+
+    column: int
+    header: str | None
+    #: domain = (NA,) + concrete type ids
+    labels: tuple[str | None, ...]
+    #: f2 features of concrete labels, shape (n_concrete, |f2|)
+    f2: np.ndarray
+    #: per-row f3 arrays, shape (n_concrete_types, n_concrete_entities, |f3|)
+    f3: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def variable_name(self) -> str:
+        return f"t:{self.column}"
+
+
+@dataclass
+class PairSpace:
+    """Candidate space and f4/f5 features of an ordered column pair."""
+
+    left: int
+    right: int
+    #: domain = (NA,) + concrete relation labels (possibly ``^-1``-suffixed)
+    labels: tuple[str | None, ...]
+    #: f4 array, shape (n_concrete, n_left_types, n_right_types, |f4|)
+    f4: np.ndarray
+    #: per-row f5 arrays, shape (n_concrete, n_left_ents, n_right_ents, |f5|)
+    f5: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def variable_name(self) -> str:
+        return f"b:{self.left},{self.right}"
+
+
+@dataclass
+class AnnotationProblem:
+    """Everything weight-independent about annotating one table."""
+
+    table: Table
+    cells: dict[tuple[int, int], CellSpace]
+    columns: dict[int, ColumnSpace]
+    pairs: dict[tuple[int, int], PairSpace]
+
+    def cell_labels(self, row: int, column: int) -> tuple[str | None, ...]:
+        space = self.cells.get((row, column))
+        return space.labels if space else (NA,)
+
+    def stats(self) -> dict[str, float]:
+        """Candidate-space statistics (feeds the §6.1.1 candidate bench)."""
+        entity_counts = [len(space.candidates) for space in self.cells.values()]
+        type_counts = [len(space.labels) - 1 for space in self.columns.values()]
+        relation_counts = [len(space.labels) - 1 for space in self.pairs.values()]
+        return {
+            "cells_with_candidates": len(entity_counts),
+            "avg_entity_candidates": (
+                float(np.mean(entity_counts)) if entity_counts else 0.0
+            ),
+            "avg_type_candidates": float(np.mean(type_counts)) if type_counts else 0.0,
+            "avg_relation_candidates": (
+                float(np.mean(relation_counts)) if relation_counts else 0.0
+            ),
+        }
+
+
+def build_problem(
+    table: Table,
+    generator: CandidateGenerator,
+    features: FeatureComputer,
+    max_column_pairs: int = 12,
+) -> AnnotationProblem:
+    """Construct the candidate spaces and feature caches for one table.
+
+    Cells without candidates (numeric/blank/unmatched) get no variable — their
+    label is forced to na.  Column pairs are considered for every ordered pair
+    of columns that both carry a type variable; pairs with no candidate
+    relation get no variable.  ``max_column_pairs`` caps quadratic blow-up on
+    very wide tables (the widest pairs by candidate support are kept).
+    """
+    cells: dict[tuple[int, int], CellSpace] = {}
+    column_candidates: dict[int, list[list[CandidateEntity]]] = {}
+    for column in range(table.n_columns):
+        per_row: list[list[CandidateEntity]] = []
+        for row in range(table.n_rows):
+            candidates = generator.cell_candidates(table.cell(row, column))
+            per_row.append(candidates)
+            if candidates:
+                f1 = np.stack(
+                    [
+                        features.f1(table.cell(row, column), candidate.entity_id)
+                        for candidate in candidates
+                    ]
+                )
+                cells[(row, column)] = CellSpace(
+                    row=row,
+                    column=column,
+                    text=table.cell(row, column),
+                    candidates=candidates,
+                    labels=(NA,) + tuple(c.entity_id for c in candidates),
+                    f1=f1,
+                )
+        column_candidates[column] = per_row
+
+    columns: dict[int, ColumnSpace] = {}
+    for column in range(table.n_columns):
+        type_ids = generator.column_type_candidates(column_candidates[column])
+        if not type_ids:
+            continue
+        header = table.header(column)
+        f2 = np.stack([features.f2(header, type_id) for type_id in type_ids])
+        space = ColumnSpace(
+            column=column,
+            header=header,
+            labels=(NA,) + tuple(type_ids),
+            f2=f2,
+        )
+        for row in range(table.n_rows):
+            cell = cells.get((row, column))
+            if cell is None:
+                continue
+            f3 = np.stack(
+                [
+                    np.stack(
+                        [
+                            features.f3(type_id, candidate.entity_id)
+                            for candidate in cell.candidates
+                        ]
+                    )
+                    for type_id in type_ids
+                ]
+            )
+            space.f3[row] = f3
+        columns[column] = space
+
+    pairs: dict[tuple[int, int], PairSpace] = {}
+    candidate_pairs: list[tuple[int, int, list[str]]] = []
+    for left in sorted(columns):
+        for right in sorted(columns):
+            if left >= right:
+                continue
+            labels = generator.relation_candidates(
+                column_candidates[left], column_candidates[right]
+            )
+            if labels:
+                candidate_pairs.append((left, right, labels))
+    candidate_pairs.sort(key=lambda item: (-len(item[2]), item[0], item[1]))
+    for left, right, labels in candidate_pairs[:max_column_pairs]:
+        left_types = columns[left].labels[1:]
+        right_types = columns[right].labels[1:]
+        f4 = features.f4_table(tuple(labels), left_types, right_types)
+        space = PairSpace(
+            left=left,
+            right=right,
+            labels=(NA,) + tuple(labels),
+            f4=f4,
+        )
+        for row in range(table.n_rows):
+            left_cell = cells.get((row, left))
+            right_cell = cells.get((row, right))
+            if left_cell is None or right_cell is None:
+                continue
+            f5 = np.zeros(
+                (len(labels), len(left_cell.candidates), len(right_cell.candidates), 2)
+            )
+            for b_index, label in enumerate(labels):
+                for e_index, left_candidate in enumerate(left_cell.candidates):
+                    for o_index, right_candidate in enumerate(right_cell.candidates):
+                        f5[b_index, e_index, o_index] = features.f5(
+                            label,
+                            left_candidate.entity_id,
+                            right_candidate.entity_id,
+                        )
+            space.f5[row] = f5
+        pairs[(left, right)] = space
+
+    return AnnotationProblem(table=table, cells=cells, columns=columns, pairs=pairs)
+
+
+# ----------------------------------------------------------------------
+# factor-graph construction
+# ----------------------------------------------------------------------
+def build_factor_graph(
+    problem: AnnotationProblem,
+    model: AnnotationModel,
+    with_relations: bool = True,
+) -> FactorGraph:
+    """Materialise equation (1) as a log-space factor graph.
+
+    Potentials for any combination involving na are identically zero ("no
+    feature is fired if label na is involved").  With
+    ``with_relations=False`` the bcc'/φ4/φ5 parts are omitted — the
+    polynomial special case of Section 4.4.1.
+    """
+    graph = FactorGraph()
+    for space in problem.cells.values():
+        unary = np.concatenate(([0.0], space.f1 @ model.w1))
+        graph.add_variable(space.variable_name, space.labels, unary, kind="entity")
+    for space in problem.columns.values():
+        unary = np.concatenate(([0.0], space.f2 @ model.w2))
+        graph.add_variable(space.variable_name, space.labels, unary, kind="type")
+        for row, f3 in space.f3.items():
+            table = np.zeros((len(space.labels), f3.shape[1] + 1))
+            table[1:, 1:] = f3 @ model.w3
+            graph.add_factor(
+                f"phi3:{row},{space.column}",
+                (space.variable_name, f"e:{row},{space.column}"),
+                table,
+                kind="phi3",
+            )
+    if not with_relations:
+        return graph
+    for space in problem.pairs.values():
+        left_var = f"t:{space.left}"
+        right_var = f"t:{space.right}"
+        graph.add_variable(
+            space.variable_name,
+            space.labels,
+            np.zeros(len(space.labels)),
+            kind="relation",
+        )
+        n_left_types = len(problem.columns[space.left].labels)
+        n_right_types = len(problem.columns[space.right].labels)
+        phi4 = np.zeros((len(space.labels), n_left_types, n_right_types))
+        phi4[1:, 1:, 1:] = space.f4 @ model.w4
+        graph.add_factor(
+            f"phi4:{space.left},{space.right}",
+            (space.variable_name, left_var, right_var),
+            phi4,
+            kind="phi4",
+        )
+        for row, f5 in space.f5.items():
+            phi5 = np.zeros(
+                (len(space.labels), f5.shape[1] + 1, f5.shape[2] + 1)
+            )
+            phi5[1:, 1:, 1:] = f5 @ model.w5
+            graph.add_factor(
+                f"phi5:{row}:{space.left},{space.right}",
+                (
+                    space.variable_name,
+                    f"e:{row},{space.left}",
+                    f"e:{row},{space.right}",
+                ),
+                phi5,
+                kind="phi5",
+            )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# joint feature map (structured learning)
+# ----------------------------------------------------------------------
+def joint_feature_vector(
+    problem: AnnotationProblem,
+    assignment: dict[str, str | None],
+    with_relations: bool = True,
+) -> np.ndarray:
+    """The joint feature map Φ(table, assignment), flattened per FAMILY_LAYOUT.
+
+    ``assignment`` maps variable names (``e:r,c`` / ``t:c`` / ``b:l,r``) to
+    labels; missing variables count as na.  na labels contribute nothing, so
+    ``w · Φ`` equals the factor graph's log-score.
+    """
+    from repro.core.features import (
+        F1_FEATURE_NAMES,
+        F2_FEATURE_NAMES,
+        F3_FEATURE_NAMES,
+        F4_FEATURE_NAMES,
+        F5_FEATURE_NAMES,
+    )
+
+    phi1 = np.zeros(len(F1_FEATURE_NAMES))
+    phi2 = np.zeros(len(F2_FEATURE_NAMES))
+    phi3 = np.zeros(len(F3_FEATURE_NAMES))
+    phi4 = np.zeros(len(F4_FEATURE_NAMES))
+    phi5 = np.zeros(len(F5_FEATURE_NAMES))
+
+    def label_index(labels: tuple[str | None, ...], label: str | None) -> int | None:
+        try:
+            return labels.index(label)
+        except ValueError:
+            return None
+
+    for space in problem.cells.values():
+        label = assignment.get(space.variable_name, NA)
+        index = label_index(space.labels, label)
+        if index is None or index == 0:
+            continue
+        phi1 += space.f1[index - 1]
+    for space in problem.columns.values():
+        type_label = assignment.get(space.variable_name, NA)
+        type_index = label_index(space.labels, type_label)
+        if type_index is None or type_index == 0:
+            continue
+        phi2 += space.f2[type_index - 1]
+        for row, f3 in space.f3.items():
+            cell = problem.cells[(row, space.column)]
+            entity_label = assignment.get(cell.variable_name, NA)
+            entity_index = label_index(cell.labels, entity_label)
+            if entity_index is None or entity_index == 0:
+                continue
+            phi3 += f3[type_index - 1, entity_index - 1]
+    if with_relations:
+        for space in problem.pairs.values():
+            relation_label = assignment.get(space.variable_name, NA)
+            relation_index = label_index(space.labels, relation_label)
+            if relation_index is None or relation_index == 0:
+                continue
+            left_space = problem.columns[space.left]
+            right_space = problem.columns[space.right]
+            left_type_index = label_index(
+                left_space.labels, assignment.get(left_space.variable_name, NA)
+            )
+            right_type_index = label_index(
+                right_space.labels, assignment.get(right_space.variable_name, NA)
+            )
+            if (
+                left_type_index is not None
+                and right_type_index is not None
+                and left_type_index > 0
+                and right_type_index > 0
+            ):
+                phi4 += space.f4[
+                    relation_index - 1, left_type_index - 1, right_type_index - 1
+                ]
+            for row, f5 in space.f5.items():
+                left_cell = problem.cells[(row, space.left)]
+                right_cell = problem.cells[(row, space.right)]
+                left_index = label_index(
+                    left_cell.labels, assignment.get(left_cell.variable_name, NA)
+                )
+                right_index = label_index(
+                    right_cell.labels, assignment.get(right_cell.variable_name, NA)
+                )
+                if (
+                    left_index is None
+                    or right_index is None
+                    or left_index == 0
+                    or right_index == 0
+                ):
+                    continue
+                phi5 += f5[relation_index - 1, left_index - 1, right_index - 1]
+    return np.concatenate([phi1, phi2, phi3, phi4, phi5])

@@ -1,0 +1,122 @@
+"""Exact polynomial inference for the relation-free special case.
+
+This is the paper's Figure 2: without ``bcc'`` variables and φ4/φ5, the
+objective (2) decomposes per column — fix a column type ``T``, then each
+cell's best entity is independent:
+
+    A_T = φ2(c, T) + Σ_r max_E [ φ1(r, c, E) + φ3(T, E) ]      (log space)
+
+and the best column label is ``argmax_T A_T`` (including ``T = na``, whose
+φ2/φ3 contributions are zero).  This module is both a fast path and the
+exactness oracle the message-passing tests compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.annotation import (
+    CellAnnotation,
+    ColumnAnnotation,
+    TableAnnotation,
+)
+from repro.core.model import AnnotationModel
+from repro.core.problem import NA, AnnotationProblem
+
+
+def annotate_simple(
+    problem: AnnotationProblem,
+    model: AnnotationModel,
+    unique_columns: tuple[int, ...] = (),
+    features=None,
+) -> TableAnnotation:
+    """Run Figure-2 inference; returns annotations without relations.
+
+    ``unique_columns`` enforces the paper's primary-key variant
+    (Section 4.4.1): after the column type is chosen, cell entities in those
+    columns are assigned jointly under an all-different constraint via the
+    Hungarian algorithm (:mod:`repro.core.constraints`).  Requires the
+    ``features`` computer used to build the problem.
+    """
+    if unique_columns and features is None:
+        raise ValueError("unique_columns requires the FeatureComputer")
+    annotation = TableAnnotation(table_id=problem.table.table_id)
+    # Cells in columns without a type variable still get their best entity.
+    chosen_cells: dict[tuple[int, int], tuple[str | None, float]] = {}
+
+    for column_index, space in problem.columns.items():
+        n_types = len(space.labels)  # includes na at index 0
+        type_scores = np.zeros(n_types)
+        type_scores[1:] = space.f2 @ model.w2
+        # per (type, row) best entity indices, to recall after argmax over T
+        best_entity_index: dict[int, np.ndarray] = {}
+        for row, f3 in space.f3.items():
+            cell = problem.cells[(row, column_index)]
+            unary = np.concatenate(([0.0], cell.f1 @ model.w1))
+            pairwise = np.zeros((n_types, len(cell.labels)))
+            pairwise[1:, 1:] = f3 @ model.w3
+            combined = pairwise + unary[None, :]
+            best = combined.argmax(axis=1)
+            best_entity_index[row] = best
+            type_scores += combined[np.arange(n_types), best]
+        chosen_type_index = int(type_scores.argmax())
+        runner_up = float(np.partition(type_scores, -2)[-2]) if n_types > 1 else 0.0
+        annotation.columns[column_index] = ColumnAnnotation(
+            column=column_index,
+            type_id=space.labels[chosen_type_index],
+            score=float(type_scores[chosen_type_index]) - runner_up,
+        )
+        if column_index in unique_columns:
+            from repro.core.constraints import assign_unique_entities
+
+            assigned = assign_unique_entities(
+                problem,
+                model,
+                features,
+                column_index,
+                space.labels[chosen_type_index],
+            )
+            for row, entity_id in assigned.items():
+                chosen_cells[(row, column_index)] = (entity_id, 0.0)
+            continue
+        for row, best in best_entity_index.items():
+            cell = problem.cells[(row, column_index)]
+            entity_index = int(best[chosen_type_index])
+            unary = np.concatenate(([0.0], cell.f1 @ model.w1))
+            pairwise = np.zeros((n_types, len(cell.labels)))
+            pairwise[1:, 1:] = space.f3[row] @ model.w3
+            combined = pairwise[chosen_type_index] + unary
+            margin = _margin(combined, entity_index)
+            chosen_cells[(row, column_index)] = (cell.labels[entity_index], margin)
+
+    # Cells in columns that never got a type variable: best φ1 alone.
+    for (row, column_index), cell in problem.cells.items():
+        if (row, column_index) in chosen_cells:
+            continue
+        unary = np.concatenate(([0.0], cell.f1 @ model.w1))
+        entity_index = int(unary.argmax())
+        chosen_cells[(row, column_index)] = (
+            cell.labels[entity_index],
+            _margin(unary, entity_index),
+        )
+
+    for (row, column_index), (entity_id, score) in chosen_cells.items():
+        annotation.cells[(row, column_index)] = CellAnnotation(
+            row=row, column=column_index, entity_id=entity_id, score=score
+        )
+    # Columns with no type variable are explicitly na.
+    for column_index in range(problem.table.n_columns):
+        if column_index not in annotation.columns:
+            annotation.columns[column_index] = ColumnAnnotation(
+                column=column_index, type_id=NA, score=0.0
+            )
+    annotation.diagnostics["method"] = "simple"
+    return annotation
+
+
+def _margin(scores: np.ndarray, chosen: int) -> float:
+    """Gap between the chosen score and the best alternative."""
+    if scores.shape[0] < 2:
+        return float(scores[chosen])
+    others = np.delete(scores, chosen)
+    return float(scores[chosen] - others.max())

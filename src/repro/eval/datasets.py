@@ -1,0 +1,188 @@
+"""Generated analogues of the paper's four ground-truth datasets (Figure 5).
+
+| Paper dataset  | Shape                                     | Analogue here |
+|----------------|-------------------------------------------|---------------|
+| Wiki Manual    | 36 tables, clean text, full annotations   | ``wiki_manual`` — WIKI noise, full truth |
+| Web Manual     | 371 tables, noisy text, full annotations  | ``web_manual`` — WEB noise, full truth |
+| Web Relations  | 30 tables, only relation annotations      | ``web_relations`` — WEB noise, truth stripped to relations |
+| Wiki Link      | 6085 tables, only cell-entity annotations | ``wiki_link`` — WIKI noise, truth stripped to entities |
+
+Sizes default to the paper's proportions scaled down for laptop runtimes and
+scale up cleanly via :class:`DatasetSizes` (benchmarks use larger values).
+The paper trains on Wiki Manual; :func:`build_standard_datasets` therefore
+also returns it first so callers can reuse it as the training split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.synthetic import SyntheticWorld
+from repro.tables.corpus import TableCorpus
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+from repro.tables.model import LabeledTable
+
+
+@dataclass
+class DatasetSizes:
+    """Number of tables per dataset analogue."""
+
+    wiki_manual: int = 36
+    web_manual: int = 80
+    web_relations: int = 30
+    wiki_link: int = 120
+
+
+@dataclass
+class EvalDataset:
+    """One named evaluation dataset."""
+
+    name: str
+    tables: list[LabeledTable]
+    noise: NoiseProfile
+    description: str = ""
+
+    def corpus(self) -> TableCorpus:
+        return TableCorpus(self.tables)
+
+    def summary(self) -> dict[str, float]:
+        """Figure-5 style row: tables, avg rows, annotation counts."""
+        return self.corpus().summary()
+
+
+def build_standard_datasets(
+    world: SyntheticWorld,
+    sizes: DatasetSizes | None = None,
+    base_seed: int = 100,
+    generator_overrides: dict | None = None,
+) -> dict[str, EvalDataset]:
+    """Build the four dataset analogues from one synthetic world.
+
+    Tables are always rendered from the *full* (ground-truth) catalog — the
+    Web contains facts the annotator's catalog view is missing, which is
+    exactly the paper's setting ("the seed tuples we start with in our
+    catalog are only a small fraction of all the tuples we find").
+
+    ``generator_overrides`` forwards extra
+    :class:`~repro.tables.generator.TableGeneratorConfig` fields (e.g.
+    ``alternate_lemma_prob``) to every dataset's generator — the benchmark
+    harness uses this to dial difficulty toward YAGO-scale ambiguity.
+    """
+    sizes = sizes if sizes is not None else DatasetSizes()
+    overrides = dict(generator_overrides or {})
+
+    def generate(name, n_tables, noise, seed_offset):
+        generator = WebTableGenerator(
+            world.full,
+            TableGeneratorConfig(
+                seed=base_seed + seed_offset,
+                n_tables=n_tables,
+                noise=noise,
+                id_prefix=name,
+                **overrides,
+            ),
+        )
+        return generator.generate()
+
+    wiki_manual = EvalDataset(
+        name="wiki_manual",
+        tables=generate("wiki_manual", sizes.wiki_manual, NoiseProfile.WIKI, 0),
+        noise=NoiseProfile.WIKI,
+        description="Clean Wikipedia-like tables with full ground truth "
+        "(entities, types, relations); also the training split.",
+    )
+    web_manual = EvalDataset(
+        name="web_manual",
+        tables=generate("web_manual", sizes.web_manual, NoiseProfile.WEB, 1),
+        noise=NoiseProfile.WEB,
+        description="Noisy open-Web-like tables with full ground truth.",
+    )
+    web_relations = EvalDataset(
+        name="web_relations",
+        tables=[
+            labeled.strip_to_relations()
+            for labeled in generate(
+                "web_relations", sizes.web_relations, NoiseProfile.WEB, 2
+            )
+        ],
+        noise=NoiseProfile.WEB,
+        description="Noisy tables annotated only with column-pair relations.",
+    )
+    wiki_link = EvalDataset(
+        name="wiki_link",
+        tables=[
+            labeled.strip_to_entities()
+            for labeled in generate("wiki_link", sizes.wiki_link, NoiseProfile.WIKI, 3)
+        ],
+        noise=NoiseProfile.WIKI,
+        description="Clean tables annotated only with cell entities "
+        "(internal-link style truth at scale).",
+    )
+    return {
+        dataset.name: dataset
+        for dataset in (wiki_manual, web_manual, web_relations, wiki_link)
+    }
+
+
+@dataclass
+class MissingLinkFixture:
+    """The Appendix-F anecdote as a reusable fixture.
+
+    A column of book titles whose entities all carry a fine category, but one
+    entity's link to that category is missing from the annotator's view — LCA
+    escalates to the root while the collective model stays specific.
+    """
+
+    column_cells: list[str] = field(default_factory=list)
+    expected_type: str = ""
+    broken_entity: str = ""
+
+
+def missing_link_fixture():
+    """Build a small Nancy-Drew-style catalog pair (full, broken view).
+
+    Returns ``(full_catalog, broken_view, fixture)``; the view lacks the
+    ``∈`` edge from one book to the series category AND the ``⊆`` edge from
+    the series category to its parent — the two missing links of Appendix F.
+    """
+    from repro.catalog.builder import CatalogBuilder
+
+    def build(include_missing_links: bool):
+        builder = (
+            CatalogBuilder(name="nancy-drew")
+            .type("type:book", "book", "novel")
+            .type("type:childrens_novels", "children's novels", parents=["type:book"])
+            .type("type:1951_novels", "1951 novels", parents=["type:book"])
+        )
+        series_parents = ["type:childrens_novels"] if include_missing_links else []
+        builder.type("type:series_books", "Nancy Drew books", parents=series_parents)
+        titles = [
+            ("ent:book:secret", "The Secret of the Old Clock"),
+            ("ent:book:staircase", "The Hidden Staircase"),
+            ("ent:book:keys", "The Clue of the Black Keys"),
+            ("ent:book:diary", "The Clue in the Diary"),
+        ]
+        for entity_id, title in titles:
+            if entity_id == "ent:book:keys" and not include_missing_links:
+                # the missing ∈ link: only coarse categories remain
+                types = ["type:1951_novels", "type:childrens_novels"]
+            else:
+                types = ["type:series_books"]
+            builder.entity(entity_id, lemmas=[title], types=types)
+        return builder.build()
+
+    fixture = MissingLinkFixture(
+        column_cells=[
+            "The Secret of the Old Clock",
+            "The Hidden Staircase",
+            "The Clue of the Black Keys",
+            "The Clue in the Diary",
+        ],
+        expected_type="type:series_books",
+        broken_entity="ent:book:keys",
+    )
+    return build(True), build(False), fixture

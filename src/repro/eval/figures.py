@@ -1,0 +1,65 @@
+"""ASCII figure rendering: grouped bar charts for MAP-style results.
+
+The paper's Figure 9 is a grouped bar chart (one group per relation, one bar
+per system).  :func:`grouped_bar_chart` renders the same shape in plain text
+so experiment output remains diff-able and terminal-friendly::
+
+    actedIn     baseline |####                |  0.04
+                type     |############        |  0.22
+                type_rel |############        |  0.22
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def bar(value: float, maximum: float, width: int = 24) -> str:
+    """One bar scaled to ``width`` characters against ``maximum``."""
+    if maximum <= 0:
+        filled = 0
+    else:
+        filled = round(width * max(min(value / maximum, 1.0), 0.0))
+    return "#" * filled + " " * (width - filled)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    series: Sequence[str],
+    title: str | None = None,
+    width: int = 24,
+    maximum: float | None = None,
+) -> str:
+    """Render ``{group: {series: value}}`` as a grouped text bar chart.
+
+    Args:
+        groups: Values per group, e.g. ``{"actedIn": {"baseline": 0.04, ...}}``.
+        series: Order of the bars within each group.
+        title: Optional heading line.
+        width: Bar width in characters.
+        maximum: Scale ceiling; defaults to the largest value present.
+
+    Groups render in insertion order; missing series values render as 0.
+    """
+    if maximum is None:
+        values = [
+            group.get(name, 0.0) for group in groups.values() for name in series
+        ]
+        maximum = max(values, default=1.0) or 1.0
+    group_width = max((len(name) for name in groups), default=0)
+    series_width = max((len(name) for name in series), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for group_name, group in groups.items():
+        for position, series_name in enumerate(series):
+            value = group.get(series_name, 0.0)
+            label = group_name if position == 0 else ""
+            lines.append(
+                f"{label:<{group_width}}  {series_name:<{series_width}} "
+                f"|{bar(value, maximum, width)}| {value:6.2f}"
+            )
+        lines.append("")
+    if lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

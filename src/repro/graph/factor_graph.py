@@ -1,0 +1,148 @@
+"""Factor graph container: variables with finite domains, log-space factors.
+
+Potentials are stored as **log**-potentials throughout — products of the
+paper's equation (1) become sums, which keeps 30-row tables numerically sane.
+A factor's table is a dense :mod:`numpy` array with one axis per attached
+variable, in the order given at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Variable:
+    """A discrete variable node.
+
+    Attributes:
+        name: Graph-unique identifier (e.g. ``"t:2"`` or ``"e:3,1"``).
+        domain: The label values; position in this sequence is the index used
+            in all arrays.  Must be non-empty.
+        unary: Log-potential per domain value (φ1/φ2 of the paper live here).
+        kind: Free-form tag ("type" / "entity" / "relation") used by custom
+            schedules to group nodes.
+    """
+
+    name: str
+    domain: tuple[Hashable, ...]
+    unary: np.ndarray
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        self.domain = tuple(self.domain)
+        if not self.domain:
+            raise ValueError(f"variable {self.name!r} has an empty domain")
+        self.unary = np.asarray(self.unary, dtype=float)
+        if self.unary.shape != (len(self.domain),):
+            raise ValueError(
+                f"variable {self.name!r}: unary shape {self.unary.shape} does "
+                f"not match domain size {len(self.domain)}"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.domain)
+
+    def index_of(self, label: Hashable) -> int:
+        return self.domain.index(label)
+
+
+@dataclass
+class Factor:
+    """A factor node coupling two or more variables.
+
+    Attributes:
+        name: Graph-unique identifier (e.g. ``"phi3:c2"``).
+        variables: Names of attached variables; axis order of ``table``.
+        table: Dense log-potential array, shape = variable domain sizes.
+        kind: Tag used by custom schedules ("phi3" / "phi4" / "phi5").
+    """
+
+    name: str
+    variables: tuple[str, ...]
+    table: np.ndarray
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        self.variables = tuple(self.variables)
+        if len(self.variables) < 2:
+            raise ValueError(
+                f"factor {self.name!r} must couple at least two variables; "
+                "fold unary terms into Variable.unary instead"
+            )
+        self.table = np.asarray(self.table, dtype=float)
+        if self.table.ndim != len(self.variables):
+            raise ValueError(
+                f"factor {self.name!r}: table rank {self.table.ndim} does not "
+                f"match {len(self.variables)} variables"
+            )
+
+    def axis_of(self, variable_name: str) -> int:
+        return self.variables.index(variable_name)
+
+
+@dataclass
+class FactorGraph:
+    """A bipartite graph of :class:`Variable` and :class:`Factor` nodes."""
+
+    variables: dict[str, Variable] = field(default_factory=dict)
+    factors: dict[str, Factor] = field(default_factory=dict)
+    _var_factors: dict[str, list[str]] = field(default_factory=dict)
+
+    def add_variable(
+        self,
+        name: str,
+        domain: Sequence[Hashable],
+        unary: np.ndarray | Sequence[float],
+        kind: str = "",
+    ) -> Variable:
+        if name in self.variables:
+            raise ValueError(f"duplicate variable name: {name!r}")
+        variable = Variable(name=name, domain=tuple(domain), unary=np.asarray(unary), kind=kind)
+        self.variables[name] = variable
+        self._var_factors[name] = []
+        return variable
+
+    def add_factor(
+        self,
+        name: str,
+        variables: Sequence[str],
+        table: np.ndarray,
+        kind: str = "",
+    ) -> Factor:
+        if name in self.factors:
+            raise ValueError(f"duplicate factor name: {name!r}")
+        for variable_name in variables:
+            if variable_name not in self.variables:
+                raise KeyError(f"factor {name!r} references unknown variable {variable_name!r}")
+        factor = Factor(name=name, variables=tuple(variables), table=np.asarray(table), kind=kind)
+        expected_shape = tuple(self.variables[v].size for v in factor.variables)
+        if factor.table.shape != expected_shape:
+            raise ValueError(
+                f"factor {name!r}: table shape {factor.table.shape} does not "
+                f"match variable domains {expected_shape}"
+            )
+        self.factors[name] = factor
+        for variable_name in variables:
+            self._var_factors[variable_name].append(name)
+        return factor
+
+    def factors_of(self, variable_name: str) -> list[str]:
+        """Names of factors attached to a variable (insertion order)."""
+        return list(self._var_factors[variable_name])
+
+    def score(self, assignment: dict[str, Hashable]) -> float:
+        """Total log-score of a full assignment (the log of objective (1))."""
+        total = 0.0
+        for name, variable in self.variables.items():
+            total += float(variable.unary[variable.index_of(assignment[name])])
+        for factor in self.factors.values():
+            indices = tuple(
+                self.variables[v].index_of(assignment[v]) for v in factor.variables
+            )
+            total += float(factor.table[indices])
+        return total

@@ -1,0 +1,33 @@
+"""The relational Web-table search application (paper Section 5).
+
+Given ``R, T1, T2, E2`` with ``R(T1, T2)`` in the catalog, return a ranked
+list of ``E1`` such that ``R(E1, E2)`` holds, mined from an annotated table
+corpus.  Three query processors of increasing annotation use:
+
+* :mod:`repro.search.baseline_search` — Figure 3: strings only (headers,
+  context, cell text), no annotations,
+* :mod:`repro.search.annotated_search` — Figure 4 in two strengths: column
+  *types* only, or types *and* column-pair relations,
+* :mod:`repro.search.table_index` — the index over tables, their text and
+  their annotations that all three share,
+* :mod:`repro.search.ranking` — evidence aggregation, deduplication and the
+  ranked answer model.
+"""
+
+from repro.search.annotated_search import AnnotatedSearcher
+from repro.search.baseline_search import BaselineSearcher
+from repro.search.join_search import JoinQuery, JoinSearcher
+from repro.search.query import RelationQuery
+from repro.search.ranking import SearchAnswer, SearchResponse
+from repro.search.table_index import AnnotatedTableIndex
+
+__all__ = [
+    "AnnotatedSearcher",
+    "AnnotatedTableIndex",
+    "BaselineSearcher",
+    "JoinQuery",
+    "JoinSearcher",
+    "RelationQuery",
+    "SearchAnswer",
+    "SearchResponse",
+]

@@ -1,0 +1,67 @@
+"""Query model for relational table search.
+
+The paper's canonical query (Section 5): given ``R, T1, T2`` and a concrete
+``E2 ∈+ T2``, find all ``E1 ∈+ T1`` with ``R(E1, E2)``.  For annotated
+processors the fields are catalog ids; the baseline processor "interprets all
+inputs as strings", which :meth:`RelationQuery.as_strings` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class RelationQuery:
+    """One select-project query ``R(E1 ∈ T1, E2 ∈ T2)`` with ``E2`` given.
+
+    Attributes:
+        relation_id: Catalog relation ``R`` (its schema orients T1/T2).
+        answer_type: ``T1`` — the type of the sought entities.
+        given_type: ``T2`` — the type of the given entity.
+        given_entity: ``E2`` as a catalog id, or ``None`` when only a string
+            is known.
+        given_text: Surface string of ``E2`` (always present; for in-catalog
+            entities this is the primary lemma).
+    """
+
+    relation_id: str
+    answer_type: str
+    given_type: str
+    given_entity: str | None
+    given_text: str
+
+    @classmethod
+    def from_catalog(
+        cls, catalog: Catalog, relation_id: str, given_entity: str
+    ) -> "RelationQuery":
+        """Build the query for "answers related to ``given_entity`` by R".
+
+        The given entity plays the *object* role of R; answers are subjects.
+        (This matches the paper's workload, e.g. R=directed, E2=a director,
+        answers = movies.)
+        """
+        relation = catalog.relations.get(relation_id)
+        entity = catalog.entities.get(given_entity)
+        return cls(
+            relation_id=relation_id,
+            answer_type=relation.subject_type,
+            given_type=relation.object_type,
+            given_entity=given_entity,
+            given_text=entity.primary_lemma,
+        )
+
+    def as_strings(self, catalog: Catalog) -> tuple[str, str, str, str]:
+        """The query reduced to strings (baseline input): R, T1, T2, E2."""
+        relation = catalog.relations.get(self.relation_id)
+        relation_text = relation.lemmas[0] if relation.lemmas else self.relation_id
+        t1_lemmas = catalog.types.lemmas(self.answer_type)
+        t2_lemmas = catalog.types.lemmas(self.given_type)
+        return (
+            relation_text,
+            t1_lemmas[0] if t1_lemmas else self.answer_type,
+            t2_lemmas[0] if t2_lemmas else self.given_type,
+            self.given_text,
+        )

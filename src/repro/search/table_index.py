@@ -1,0 +1,149 @@
+"""Index over a table corpus and its annotations.
+
+This is the search application's preprocessing product (paper Section 5):
+tables are indexed *textually* (headers, context — what the Figure-3 baseline
+can use) and *semantically* (column types, cell entities, column-pair
+relations produced by the annotator — what Figure 4 exploits).
+
+Type lookups expand through the catalog's subtype DAG: a column annotated
+``type:cat:1990s_films`` satisfies a query for ``type:movie``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.core.annotation import TableAnnotation
+from repro.tables.generator import base_relation
+from repro.tables.model import Table
+from repro.text.index import InvertedIndex
+
+
+@dataclass
+class RelationEdge:
+    """One annotated relation instance: subject/object columns of a table."""
+
+    table_id: str
+    subject_column: int
+    object_column: int
+    relation_id: str
+    score: float = 0.0
+
+
+@dataclass
+class AnnotatedTableIndex:
+    """Tables + text indexes + semantic (annotation) indexes."""
+
+    catalog: Catalog
+    tables: dict[str, Table] = field(default_factory=dict)
+    annotations: dict[str, TableAnnotation] = field(default_factory=dict)
+    _header_index: InvertedIndex = field(default_factory=InvertedIndex)
+    _context_index: InvertedIndex = field(default_factory=InvertedIndex)
+    _columns_by_type: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+    _cells_by_entity: dict[str, list[tuple[str, int, int]]] = field(default_factory=dict)
+    _edges_by_relation: dict[str, list[RelationEdge]] = field(default_factory=dict)
+    _frozen: bool = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_table(
+        self, table: Table, annotation: TableAnnotation | None = None
+    ) -> None:
+        """Register a table and (optionally) its annotation."""
+        if table.table_id in self.tables:
+            raise ValueError(f"duplicate table id: {table.table_id!r}")
+        if self._frozen:
+            raise RuntimeError("index is frozen")
+        self.tables[table.table_id] = table
+        if table.headers:
+            for column, header in enumerate(table.headers):
+                if header:
+                    self._header_index.add((table.table_id, column), header)
+        if table.context:
+            self._context_index.add(table.table_id, table.context)
+        if annotation is None:
+            return
+        self.annotations[table.table_id] = annotation
+        for column, column_annotation in annotation.columns.items():
+            if column_annotation.type_id is not None:
+                self._columns_by_type.setdefault(
+                    column_annotation.type_id, []
+                ).append((table.table_id, column))
+        for (row, column), cell in annotation.cells.items():
+            if cell.entity_id is not None:
+                self._cells_by_entity.setdefault(cell.entity_id, []).append(
+                    (table.table_id, row, column)
+                )
+        for (left, right), relation in annotation.relations.items():
+            if relation.label is None:
+                continue
+            relation_id, reverse = base_relation(relation.label)
+            edge = RelationEdge(
+                table_id=table.table_id,
+                subject_column=right if reverse else left,
+                object_column=left if reverse else right,
+                relation_id=relation_id,
+                score=relation.score,
+            )
+            self._edges_by_relation.setdefault(relation_id, []).append(edge)
+
+    def freeze(self) -> None:
+        """Finalise the text indexes (idempotent)."""
+        if not self._frozen:
+            self._header_index.freeze()
+            self._context_index.freeze()
+            self._frozen = True
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    # ------------------------------------------------------------------
+    # textual lookups (baseline)
+    # ------------------------------------------------------------------
+    def columns_with_header(
+        self, header_text: str, top_k: int = 50
+    ) -> list[tuple[str, int, float]]:
+        """(table, column, score) whose header matches ``header_text``."""
+        self.freeze()
+        return [
+            (hit.key[0], hit.key[1], hit.score)
+            for hit in self._header_index.search(header_text, top_k=top_k)
+        ]
+
+    def tables_with_context(self, text: str, top_k: int = 200) -> dict[str, float]:
+        """Table → context-match score."""
+        self.freeze()
+        return {
+            hit.key: hit.score for hit in self._context_index.search(text, top_k=top_k)
+        }
+
+    # ------------------------------------------------------------------
+    # semantic lookups (annotated search)
+    # ------------------------------------------------------------------
+    def columns_of_type(self, type_id: str) -> list[tuple[str, int]]:
+        """Columns annotated with ``type_id`` or any of its subtypes."""
+        results: list[tuple[str, int]] = []
+        wanted = {type_id}
+        if type_id in self.catalog.types:
+            wanted |= self.catalog.types.descendants(type_id)
+        for concrete in wanted:
+            results.extend(self._columns_by_type.get(concrete, ()))
+        return sorted(set(results))
+
+    def cells_of_entity(self, entity_id: str) -> list[tuple[str, int, int]]:
+        return list(self._cells_by_entity.get(entity_id, ()))
+
+    def relation_edges(self, relation_id: str) -> list[RelationEdge]:
+        return list(self._edges_by_relation.get(relation_id, ()))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "tables": len(self.tables),
+            "annotated_tables": len(self.annotations),
+            "typed_columns": sum(len(v) for v in self._columns_by_type.values()),
+            "entity_cells": sum(len(v) for v in self._cells_by_entity.values()),
+            "relation_edges": sum(len(v) for v in self._edges_by_relation.values()),
+        }

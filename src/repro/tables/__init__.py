@@ -1,0 +1,44 @@
+"""Table substrate: table model, HTML extraction and the noisy generator.
+
+The paper's source model (Section 3.2) represents a table as context text,
+optional header cells, and an m×n grid of short text cells; formatting tables
+and tables with merged cells are discarded.  This package provides:
+
+* :mod:`repro.tables.model` — :class:`Table` and :class:`LabeledTable`
+  (ground-truth cell entity / column type / column-pair relation labels),
+* :mod:`repro.tables.html_extract` — extraction of regular tables from HTML,
+* :mod:`repro.tables.classify` — WebTables-style relational-vs-formatting
+  screening heuristics [6],
+* :mod:`repro.tables.noise` — seeded text-noise channels (typos,
+  abbreviations, token drops, header synonyms),
+* :mod:`repro.tables.generator` — renders noisy Web-table analogues from a
+  catalog's relations, with full ground truth,
+* :mod:`repro.tables.corpus` — JSONL-backed corpora of (labeled) tables.
+"""
+
+from repro.tables.classify import TableClass, classify_table
+from repro.tables.corpus import TableCorpus, load_corpus_jsonl, save_corpus_jsonl
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+from repro.tables.html_extract import extract_tables_from_html
+from repro.tables.model import LabeledTable, Table, TableTruth
+from repro.tables.noise import NoiseModel
+
+__all__ = [
+    "LabeledTable",
+    "NoiseModel",
+    "NoiseProfile",
+    "Table",
+    "TableClass",
+    "TableCorpus",
+    "TableGeneratorConfig",
+    "TableTruth",
+    "WebTableGenerator",
+    "classify_table",
+    "extract_tables_from_html",
+    "load_corpus_jsonl",
+    "save_corpus_jsonl",
+]

@@ -1,0 +1,101 @@
+"""Relational-vs-formatting table screening.
+
+The paper preprocesses its 500M-page crawl with the WebTables heuristics [6]:
+most HTML tables implement visual layout, and only a small fraction carry
+relational data.  This module reimplements that screening for extracted
+tables: size floors, regularity, cell-length statistics and column-consistency
+checks.  It is used by :mod:`repro.tables.html_extract` and exercised directly
+by the web-crawl example.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+
+from repro.tables.model import Table
+
+
+class TableClass(enum.Enum):
+    """Outcome of the screening decision."""
+
+    RELATIONAL = "relational"
+    FORMATTING = "formatting"
+    TOO_SMALL = "too_small"
+    IRREGULAR = "irregular"
+
+
+#: Cells longer than this are prose paragraphs, not relational values.
+MAX_AVG_CELL_CHARS = 80.0
+#: Minimum data rows / columns for a table to be meaningfully relational.
+MIN_ROWS = 2
+MIN_COLUMNS = 2
+#: Fraction of empty cells beyond which a table is layout scaffolding.
+MAX_EMPTY_FRACTION = 0.4
+
+
+def classify_table(table: Table) -> TableClass:
+    """Classify a regular table as relational or formatting.
+
+    The checks, in order:
+
+    1. size floor (``MIN_ROWS`` × ``MIN_COLUMNS``),
+    2. emptiness — formatting tables are full of blank spacer cells,
+    3. prose detection — long average cell text means paragraph layout,
+    4. column-type consistency — in a relational table most columns are
+       homogeneous (all-numeric or mostly-short-text); a table whose columns
+       mix wildly is likely layout.
+    """
+    if table.n_rows < MIN_ROWS or table.n_columns < MIN_COLUMNS:
+        return TableClass.TOO_SMALL
+
+    cell_texts = [text for _r, _c, text in table.iter_cells()]
+    total = len(cell_texts)
+    empty = sum(1 for text in cell_texts if not text.strip())
+    if total and empty / total > MAX_EMPTY_FRACTION:
+        return TableClass.FORMATTING
+
+    lengths = [len(text) for text in cell_texts if text.strip()]
+    if lengths and statistics.fmean(lengths) > MAX_AVG_CELL_CHARS:
+        return TableClass.FORMATTING
+
+    consistent_columns = 0
+    for column_index in range(table.n_columns):
+        if _column_is_consistent(table.column(column_index)):
+            consistent_columns += 1
+    if consistent_columns < max(2, table.n_columns // 2):
+        return TableClass.FORMATTING
+
+    return TableClass.RELATIONAL
+
+
+def _column_is_consistent(values: list[str]) -> bool:
+    """A column is consistent when its non-empty cells look alike."""
+    non_empty = [value.strip() for value in values if value.strip()]
+    if len(non_empty) < 2:
+        return False
+    numeric = sum(1 for value in non_empty if _looks_numeric(value))
+    if numeric >= 0.8 * len(non_empty):
+        return True
+    if numeric > 0.5 * len(non_empty):
+        return False
+    lengths = [len(value) for value in non_empty]
+    mean_length = statistics.fmean(lengths)
+    if mean_length > MAX_AVG_CELL_CHARS:
+        return False
+    if len(lengths) >= 2:
+        spread = statistics.pstdev(lengths)
+        if mean_length > 0 and spread / mean_length > 2.5:
+            return False
+    return True
+
+
+def _looks_numeric(value: str) -> bool:
+    stripped = value.replace(",", "").replace("%", "").replace("$", "").strip()
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,403 @@
+"""Seeded generator of noisy Web-table analogues with full ground truth.
+
+Plays the role of the paper's 25-million-table crawl snapshot: every
+generated table renders a slice of some catalog relation ``B(T1, T2)`` into a
+grid, with
+
+* the subject entity of each sampled tuple in one column and the object in
+  another (optionally order-swapped, producing *reversed* relation truth),
+* optional extra object columns drawn from a second relation sharing the same
+  subject type (a movie table with both director and producer columns — the
+  column *pair* (director, producer) then truly has no catalog relation,
+  exercising the ``na`` label),
+* optional numeric columns (years consistent with the entity's decade
+  category) whose true type/entity labels are ``na``,
+* out-of-catalog rows whose true entity labels are ``na``,
+* headers sampled from type/relation lemmas then passed through the noise
+  channels of :mod:`repro.tables.noise`, and context sentences mentioning the
+  relation.
+
+All sampling uses one ``random.Random(seed)`` stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import re
+from dataclasses import dataclass, field
+
+from repro.catalog import names
+from repro.catalog.catalog import Catalog
+from repro.tables.model import LabeledTable, Table, TableTruth
+from repro.tables.noise import NoiseModel, WEB_NOISE, WIKI_NOISE
+
+#: Suffix marking a relation label whose subject column is the *right* column
+#: of the pair.  ``rel:directed`` on (c, c') means B(column c, column c');
+#: ``rel:directed^-1`` means B(column c', column c).
+REVERSED_SUFFIX = "^-1"
+
+
+def reversed_label(relation_id: str) -> str:
+    """The label for ``relation_id`` read right-to-left across a column pair."""
+    if relation_id.endswith(REVERSED_SUFFIX):
+        return relation_id[: -len(REVERSED_SUFFIX)]
+    return relation_id + REVERSED_SUFFIX
+
+
+def base_relation(label: str) -> tuple[str, bool]:
+    """Split a (possibly reversed) relation label into (relation_id, reversed)."""
+    if label.endswith(REVERSED_SUFFIX):
+        return label[: -len(REVERSED_SUFFIX)], True
+    return label, False
+
+
+class NoiseProfile(enum.Enum):
+    """Named noise presets matching the paper's dataset families."""
+
+    CLEAN = "clean"
+    WIKI = "wiki"
+    WEB = "web"
+
+    def model(self) -> NoiseModel:
+        if self is NoiseProfile.CLEAN:
+            return NoiseModel()
+        if self is NoiseProfile.WIKI:
+            return WIKI_NOISE
+        return WEB_NOISE
+
+
+@dataclass
+class TableGeneratorConfig:
+    """Knobs for table synthesis."""
+
+    seed: int = 11
+    n_tables: int = 40
+    rows_range: tuple[int, int] = (6, 24)
+    noise: NoiseProfile | NoiseModel = NoiseProfile.WIKI
+    #: probability a row's object (or subject) is an out-of-catalog string
+    unknown_cell_prob: float = 0.04
+    #: probability a table gets a numeric "Year" column
+    numeric_column_prob: float = 0.45
+    #: probability of a second object column from a compatible relation
+    extra_object_column_prob: float = 0.35
+    #: probability the subject/object columns are emitted right-to-left
+    swap_columns_prob: float = 0.2
+    #: probability the table is *category-scoped*: subjects drawn from one
+    #: fine category ("List of 1990s films ..."), whose id becomes the
+    #: subject column's true type — the paper's datasets are full of such
+    #: Wikipedia-list tables, and they are what LCA over-generalises on
+    scoped_subject_prob: float = 0.45
+    #: probability a cell uses a non-primary lemma of its entity
+    alternate_lemma_prob: float = 0.3
+    #: restrict generated tables to these relations (default: all rich enough)
+    relations: tuple[str, ...] = field(default_factory=tuple)
+    #: minimum tuples a relation needs to be eligible
+    min_relation_tuples: int = 4
+    id_prefix: str = "gen"
+
+    def noise_model(self) -> NoiseModel:
+        model = (
+            self.noise.model() if isinstance(self.noise, NoiseProfile) else self.noise
+        )
+        model.validate()
+        return model
+
+
+_DECADE_TYPE_RE = re.compile(r"type:cat:(\d{4})s_")
+
+
+class WebTableGenerator:
+    """Renders labeled tables from a (ground-truth) catalog."""
+
+    def __init__(self, catalog: Catalog, config: TableGeneratorConfig | None = None):
+        self.catalog = catalog
+        self.config = config if config is not None else TableGeneratorConfig()
+        self._noise = self.config.noise_model()
+        eligible = []
+        wanted = set(self.config.relations)
+        for relation in catalog.relations.all_relations():
+            if wanted and relation.relation_id not in wanted:
+                continue
+            if (
+                catalog.relations.tuple_count(relation.relation_id)
+                >= self.config.min_relation_tuples
+            ):
+                eligible.append(relation.relation_id)
+        if not eligible:
+            raise ValueError("no relation has enough tuples to generate tables")
+        self._eligible_relations = sorted(eligible)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self) -> list[LabeledTable]:
+        """Generate ``config.n_tables`` labeled tables."""
+        rng = random.Random(self.config.seed)
+        tables = []
+        for index in range(self.config.n_tables):
+            tables.append(self._generate_one(rng, index))
+        return tables
+
+    def generate_one(self, seed: int, table_id: str | None = None) -> LabeledTable:
+        """Generate a single table from an explicit seed (used in tests)."""
+        rng = random.Random(seed)
+        labeled = self._generate_one(rng, 0)
+        if table_id is not None:
+            labeled.table.table_id = table_id
+        return labeled
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _generate_one(self, rng: random.Random, index: int) -> LabeledTable:
+        relation_id = rng.choice(self._eligible_relations)
+        relation = self.catalog.relations.get(relation_id)
+        subjects = sorted(self.catalog.relations.participating_subjects(relation_id))
+        lo, hi = self.config.rows_range
+        subject_scope: str | None = None
+        if rng.random() < self.config.scoped_subject_prob:
+            scoped = self._pick_subject_scope(rng, relation_id, relation.subject_type)
+            if scoped is not None:
+                subject_scope, subjects = scoped
+        target_rows = rng.randint(lo, hi)
+        n_rows = min(target_rows, len(subjects))
+        chosen_subjects = rng.sample(subjects, n_rows)
+
+        # Optional second object column sharing the subject type.
+        extra_relation_id: str | None = None
+        if rng.random() < self.config.extra_object_column_prob:
+            extra_relation_id = self._pick_extra_relation(rng, relation_id)
+
+        columns: list[dict] = [
+            {
+                "kind": "subject",
+                "type": subject_scope or relation.subject_type,
+                "relation": None,
+            }
+        ]
+        columns.append(
+            {"kind": "object", "type": relation.object_type, "relation": relation_id}
+        )
+        if extra_relation_id is not None:
+            extra = self.catalog.relations.get(extra_relation_id)
+            columns.append(
+                {
+                    "kind": "object",
+                    "type": extra.object_type,
+                    "relation": extra_relation_id,
+                }
+            )
+        if rng.random() < self.config.numeric_column_prob:
+            columns.append({"kind": "year", "type": None, "relation": None})
+
+        swap = rng.random() < self.config.swap_columns_prob and len(columns) >= 2
+        if swap:
+            columns[0], columns[1] = columns[1], columns[0]
+        subject_col = next(
+            i for i, column in enumerate(columns) if column["kind"] == "subject"
+        )
+
+        truth = TableTruth()
+        grid: list[list[str]] = []
+        headers: list[str | None] = []
+        for column_index, column in enumerate(columns):
+            headers.append(self._render_header(rng, column))
+            if column["kind"] == "year":
+                truth.column_types[column_index] = None
+            else:
+                truth.column_types[column_index] = column["type"]
+
+        for row_index, subject in enumerate(chosen_subjects):
+            row: list[str] = [""] * len(columns)
+            subject_unknown = rng.random() < self.config.unknown_cell_prob
+            subject_entity = None if subject_unknown else subject
+            row[subject_col] = self._render_entity_cell(
+                rng, subject, unknown=subject_unknown
+            )
+            truth.cell_entities[(row_index, subject_col)] = subject_entity
+            for column_index, column in enumerate(columns):
+                if column_index == subject_col:
+                    continue
+                if column["kind"] == "year":
+                    row[column_index] = str(self._year_for(rng, subject))
+                    truth.cell_entities[(row_index, column_index)] = None
+                    continue
+                object_entity = self._object_for(rng, column["relation"], subject)
+                if object_entity is None or rng.random() < self.config.unknown_cell_prob:
+                    row[column_index] = self._render_unknown_cell(rng, column["type"])
+                    truth.cell_entities[(row_index, column_index)] = None
+                else:
+                    row[column_index] = self._render_entity_cell(rng, object_entity)
+                    truth.cell_entities[(row_index, column_index)] = object_entity
+            grid.append(row)
+
+        # Relation truth for every ordered pair (left < right).
+        for left in range(len(columns)):
+            for right in range(left + 1, len(columns)):
+                label = self._pair_truth(columns, left, right, subject_col)
+                truth.relations[(left, right)] = label
+
+        if all(header is None for header in headers):
+            final_headers: list[str | None] | None = None
+        else:
+            final_headers = headers
+        context = self._render_context(rng, relation)
+        table = Table(
+            table_id=f"{self.config.id_prefix}:{index:05d}",
+            cells=grid,
+            headers=final_headers,
+            context=context,
+            source="synthetic-web",
+        )
+        return LabeledTable(table=table, truth=truth)
+
+    def _pair_truth(
+        self, columns: list[dict], left: int, right: int, subject_col: int
+    ) -> str | None:
+        left_col, right_col = columns[left], columns[right]
+        if left_col["kind"] == "subject" and right_col["relation"]:
+            return right_col["relation"]
+        if right_col["kind"] == "subject" and left_col["relation"]:
+            return reversed_label(left_col["relation"])
+        return None
+
+    def _pick_subject_scope(
+        self, rng: random.Random, relation_id: str, subject_type: str
+    ) -> tuple[str, list[str]] | None:
+        """A fine category with enough relation participants, if any.
+
+        Returns ``(category_id, member subjects)`` — the generated table then
+        mimics a "List of <category> ..." page and the category becomes the
+        subject column's true type.
+        """
+        participants = self.catalog.relations.participating_subjects(relation_id)
+        options: list[tuple[str, list[str]]] = []
+        for category in sorted(self.catalog.types.descendants(subject_type)):
+            if not category.startswith("type:cat:"):
+                continue
+            members = sorted(self.catalog.entities_of_type(category) & participants)
+            if len(members) >= self.config.rows_range[0]:
+                options.append((category, members))
+        if not options:
+            return None
+        return options[rng.randrange(len(options))]
+
+    def _pick_extra_relation(
+        self, rng: random.Random, relation_id: str
+    ) -> str | None:
+        relation = self.catalog.relations.get(relation_id)
+        options = []
+        for candidate in self._eligible_relations:
+            if candidate == relation_id:
+                continue
+            other = self.catalog.relations.get(candidate)
+            if other.subject_type != relation.subject_type:
+                continue
+            shared = self.catalog.relations.participating_subjects(
+                relation_id
+            ) & self.catalog.relations.participating_subjects(candidate)
+            if len(shared) >= self.config.rows_range[0]:
+                options.append(candidate)
+        if not options:
+            return None
+        return rng.choice(sorted(options))
+
+    def _object_for(
+        self, rng: random.Random, relation_id: str | None, subject: str
+    ) -> str | None:
+        if relation_id is None:
+            return None
+        objects = sorted(self.catalog.relations.objects_of(relation_id, subject))
+        if not objects:
+            return None
+        return rng.choice(objects)
+
+    def _render_entity_cell(
+        self, rng: random.Random, entity_id: str, unknown: bool = False
+    ) -> str:
+        if unknown:
+            entity = self.catalog.entities.get(entity_id)
+            return self._render_unknown_like(rng, entity.primary_lemma)
+        lemmas = self.catalog.entities.lemmas(entity_id)
+        if not lemmas:
+            text = entity_id
+        elif len(lemmas) > 1 and rng.random() < self.config.alternate_lemma_prob:
+            text = rng.choice(lemmas[1:])
+        else:
+            text = lemmas[0]
+        return self._noise.corrupt_cell(text, rng)
+
+    def _render_unknown_cell(self, rng: random.Random, type_id: str | None) -> str:
+        """Fabricate an out-of-catalog mention plausible for the column type."""
+        if type_id is not None and "person" in self._spine_kind(type_id):
+            first = rng.choice(names.FIRST_NAMES)
+            surname = rng.choice(names.SURNAMES)
+            middle = rng.choice("BCDFGKLMPRST")
+            return self._noise.corrupt_cell(f"{first} {middle}. {surname}", rng)
+        adjective = rng.choice(names.TITLE_ADJECTIVES)
+        noun = rng.choice(names.TITLE_NOUNS)
+        return self._noise.corrupt_cell(f"{adjective} {noun} {rng.randint(2, 99)}", rng)
+
+    def _render_unknown_like(self, rng: random.Random, primary: str) -> str:
+        tokens = primary.split()
+        if len(tokens) >= 2:
+            first = rng.choice(names.FIRST_NAMES)
+            return self._noise.corrupt_cell(f"{first} {tokens[-1]}", rng)
+        return self._render_unknown_cell(rng, None)
+
+    def _spine_kind(self, type_id: str) -> str:
+        """Coarse spine bucket of a type ("person", "work", ...)."""
+        ancestors = self.catalog.types.ancestors(type_id, include_self=True)
+        for spine in ("type:person", "type:work", "type:place", "type:organization"):
+            if spine in ancestors:
+                return spine
+        return type_id
+
+    def _render_header(self, rng: random.Random, column: dict) -> str | None:
+        if column["kind"] == "year":
+            base = rng.choice(("Year", "Released", "Since"))
+            return self._noise.corrupt_header(base, rng)
+        lemmas = list(self.catalog.types.lemmas(column["type"]))
+        if column["relation"]:
+            lemmas.extend(self.catalog.relations.get(column["relation"]).lemmas)
+        if not lemmas:
+            lemmas = [column["type"].rsplit(":", 1)[-1]]
+        base = lemmas[0].title()
+        return self._noise.corrupt_header(
+            base, rng, synonyms=tuple(lemma.title() for lemma in lemmas)
+        )
+
+    def _render_context(self, rng: random.Random, relation) -> str:
+        subject_lemma = self.catalog.types.lemmas(relation.subject_type)[0]
+        relation_lemma = relation.lemmas[0] if relation.lemmas else relation.relation_id
+        templates = (
+            f"List of {subject_lemma}s and {relation_lemma}",
+            f"{subject_lemma.title()}s — {relation_lemma}",
+            f"Table of {subject_lemma}s ({relation_lemma})",
+        )
+        return rng.choice(templates)
+
+    def _year_for(self, rng: random.Random, entity_id: str) -> int:
+        """A year consistent with the entity's decade category when present."""
+        for type_id in self.catalog.entities.direct_types(entity_id):
+            match = _DECADE_TYPE_RE.match(type_id)
+            if match:
+                decade = int(match.group(1))
+                return decade + rng.randrange(10)
+        return rng.randint(1950, 2009)
+
+
+def generate_formatting_table(seed: int, table_id: str = "fmt:0") -> Table:
+    """A layout-ish junk table (spacer cells, prose) for classifier tests."""
+    rng = random.Random(seed)
+    prose = (
+        "This is a long navigation paragraph that only exists to lay out the "
+        "page and has nothing tabular about it whatsoever, "
+    ) * 2
+    cells = [
+        [prose, ""],
+        ["", rng.choice(("Home | About | Contact", "© 2009 Example Corp"))],
+        ["", ""],
+    ]
+    return Table(table_id=table_id, cells=cells, headers=None, context="")

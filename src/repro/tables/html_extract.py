@@ -1,0 +1,150 @@
+"""Extraction of regular tables from raw HTML.
+
+Built on :class:`html.parser.HTMLParser` (no external dependencies).  Follows
+the paper's preprocessing rules (Section 3.2):
+
+* tables using merged rows/columns (``rowspan``/``colspan`` > 1) are
+  discarded,
+* only perfectly regular grids (cells = rows × columns) survive,
+* a header row is recognised from ``<th>`` cells (or a ``<thead>`` section),
+* a window of text preceding each table is captured as its context,
+* the relational/formatting screen of :mod:`repro.tables.classify` is applied
+  unless the caller opts out.
+
+A table *containing* a nested table is treated as layout and discarded; the
+inner table is parsed on its own merits — on layout-heavy pages the real
+relational grid usually sits inside a formatting shell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from repro.tables.classify import TableClass, classify_table
+from repro.tables.model import Table
+from repro.text.normalize import normalize_text
+
+#: How many trailing characters of page text become the table context.
+CONTEXT_WINDOW_CHARS = 200
+
+
+@dataclass
+class _RawTable:
+    rows: list[list[str]] = field(default_factory=list)
+    header_flags: list[list[bool]] = field(default_factory=list)
+    context: str = ""
+    merged: bool = False
+    nested: bool = False
+
+
+class _TableHTMLParser(HTMLParser):
+    """Streams HTML, accumulating tables and the text between them."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.tables: list[_RawTable] = []
+        self._table_stack: list[_RawTable] = []
+        self._current_row: list[str] | None = None
+        self._current_flags: list[bool] | None = None
+        self._cell_chunks: list[str] | None = None
+        self._cell_is_header = False
+        self._page_text: list[str] = []
+
+    # -- tag events ----------------------------------------------------
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        if tag == "table":
+            if self._table_stack:
+                self._table_stack[-1].nested = True
+            raw = _RawTable(context=self._recent_text())
+            self._table_stack.append(raw)
+        elif tag == "tr" and self._table_stack:
+            self._current_row = []
+            self._current_flags = []
+        elif tag in ("td", "th") and self._table_stack:
+            attr_map = {name: value for name, value in attrs}
+            for span_attr in ("rowspan", "colspan"):
+                raw_span = attr_map.get(span_attr)
+                if raw_span is not None and raw_span.strip() not in ("", "1"):
+                    self._table_stack[-1].merged = True
+            self._cell_chunks = []
+            self._cell_is_header = tag == "th"
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in ("td", "th") and self._cell_chunks is not None:
+            if self._current_row is not None and self._current_flags is not None:
+                text = normalize_text("".join(self._cell_chunks), strip_bracketed=False)
+                self._current_row.append(text)
+                self._current_flags.append(self._cell_is_header)
+            self._cell_chunks = None
+        elif tag == "tr" and self._table_stack:
+            if self._current_row:
+                self._table_stack[-1].rows.append(self._current_row)
+                self._table_stack[-1].header_flags.append(self._current_flags or [])
+            self._current_row = None
+            self._current_flags = None
+        elif tag == "table" and self._table_stack:
+            self.tables.append(self._table_stack.pop())
+
+    def handle_data(self, data: str) -> None:
+        if self._cell_chunks is not None:
+            self._cell_chunks.append(data)
+        elif not self._table_stack:
+            stripped = data.strip()
+            if stripped:
+                self._page_text.append(stripped)
+
+    def _recent_text(self) -> str:
+        joined = " ".join(self._page_text)
+        return joined[-CONTEXT_WINDOW_CHARS:].strip()
+
+
+def extract_tables_from_html(
+    html_text: str,
+    source: str | None = None,
+    screen_relational: bool = True,
+    id_prefix: str = "html",
+) -> list[Table]:
+    """Extract regular (and optionally relational) tables from HTML.
+
+    Args:
+        html_text: The page markup.
+        source: Provenance recorded on each extracted table.
+        screen_relational: Apply :func:`classify_table` and keep only
+            :data:`TableClass.RELATIONAL` tables (the paper's preprocessing).
+        id_prefix: Extracted tables are ids ``{prefix}:0``, ``{prefix}:1``...
+            in document order of the *kept* tables.
+
+    Returns:
+        A list of :class:`Table`; never raises on malformed markup (the
+        stdlib parser is forgiving by design).
+    """
+    parser = _TableHTMLParser()
+    parser.feed(html_text)
+    parser.close()
+    extracted: list[Table] = []
+    for raw in parser.tables:
+        if raw.merged or raw.nested or not raw.rows:
+            continue
+        width = len(raw.rows[0])
+        if width == 0 or any(len(row) != width for row in raw.rows):
+            continue  # not a regular grid
+        headers: list[str | None] | None = None
+        body_rows = raw.rows
+        first_flags = raw.header_flags[0] if raw.header_flags else []
+        if first_flags and all(first_flags):
+            headers = [cell if cell else None for cell in raw.rows[0]]
+            body_rows = raw.rows[1:]
+        if not body_rows:
+            continue
+        table = Table(
+            table_id=f"{id_prefix}:{len(extracted)}",
+            cells=[list(row) for row in body_rows],
+            headers=headers,
+            context=raw.context,
+            source=source,
+        )
+        if screen_relational and classify_table(table) is not TableClass.RELATIONAL:
+            continue
+        extracted.append(table)
+    return extracted

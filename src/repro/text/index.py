@@ -1,0 +1,136 @@
+"""Inverted index with TF-IDF scoring — the offline Lucene substitute.
+
+Two callers:
+
+* the **lemma index** used for candidate entity retrieval ("use a text index
+  to collect candidate entities based on overlap between cell and lemma
+  tokens", paper Section 4.3/Figure 2), and
+* the **table index** of the search application (documents are table cells /
+  contexts).
+
+Documents are short strings; postings store raw term counts.  Scoring is the
+usual ``sum_t tf_q(t) * tf_d(t) * idf(t)^2`` cosine numerator with document
+length normalisation, which is all the ranking fidelity these callers need.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class IndexHit:
+    """One retrieval result: a document key and its match score."""
+
+    key: Hashable
+    score: float
+
+
+class InvertedIndex:
+    """A tiny in-memory inverted index over short text documents.
+
+    Keys are arbitrary hashable identifiers; one key may be indexed under
+    several documents (e.g. an entity with several lemmas) — scores then take
+    the max over that key's documents.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[int, int]] = {}
+        self._doc_key: list[Hashable] = []
+        self._doc_norm: list[float] = []
+        self._doc_counts: list[Counter[str]] = []
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, key: Hashable, text: str) -> None:
+        """Index one document ``text`` under ``key``."""
+        if self._frozen:
+            raise RuntimeError("index is frozen; create a new index to add more")
+        counts = Counter(tokenize(text))
+        if not counts:
+            return
+        doc_id = len(self._doc_key)
+        self._doc_key.append(key)
+        self._doc_counts.append(counts)
+        self._doc_norm.append(0.0)  # filled in freeze()
+        for token, count in counts.items():
+            self._postings.setdefault(token, {})[doc_id] = count
+
+    def add_many(self, items: Iterable[tuple[Hashable, str]]) -> None:
+        for key, text in items:
+            self.add(key, text)
+
+    def freeze(self) -> None:
+        """Finalise IDF statistics and document norms (idempotent)."""
+        if self._frozen:
+            return
+        for doc_id, counts in enumerate(self._doc_counts):
+            norm = math.sqrt(
+                sum((count * self.idf(token)) ** 2 for token, count in counts.items())
+            )
+            self._doc_norm[doc_id] = norm if norm > 0 else 1.0
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_key)
+
+    def document_frequency(self, token: str) -> int:
+        return len(self._postings.get(token, ()))
+
+    def idf(self, token: str) -> float:
+        return 1.0 + math.log(
+            (len(self._doc_key) + 1) / (self.document_frequency(token) + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def search(self, query: str, top_k: int = 10) -> list[IndexHit]:
+        """Top-k documents by TF-IDF score, deduplicated by key (max score).
+
+        Results are sorted by descending score; ties broken by the string
+        form of the key so retrieval is fully deterministic.
+        """
+        if not self._frozen:
+            self.freeze()
+        query_counts = Counter(tokenize(query))
+        if not query_counts:
+            return []
+        scores: dict[int, float] = {}
+        for token, query_count in query_counts.items():
+            postings = self._postings.get(token)
+            if not postings:
+                continue
+            token_idf = self.idf(token)
+            weight = query_count * token_idf * token_idf
+            for doc_id, doc_count in postings.items():
+                scores[doc_id] = scores.get(doc_id, 0.0) + weight * doc_count
+        if not scores:
+            return []
+        by_key: dict[Hashable, float] = {}
+        for doc_id, score in scores.items():
+            normalised = score / self._doc_norm[doc_id]
+            key = self._doc_key[doc_id]
+            if normalised > by_key.get(key, 0.0):
+                by_key[key] = normalised
+        top = heapq.nlargest(
+            top_k, by_key.items(), key=lambda item: (item[1], str(item[0]))
+        )
+        return [IndexHit(key=key, score=score) for key, score in top]
+
+    def keys_with_token(self, token: str) -> set[Hashable]:
+        """All keys whose documents contain ``token`` (exact, lower-cased)."""
+        postings = self._postings.get(token.lower(), {})
+        return {self._doc_key[doc_id] for doc_id in postings}

@@ -1,0 +1,59 @@
+"""Light-weight normalisation for cell and header strings.
+
+Web table cells carry HTML entities, footnote markers, bracketed
+qualifications and stray whitespace.  ``normalize_text`` strips this
+decoration *without* attempting any linguistic normalisation — similarity
+measures and the index operate on the cleaned surface form.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_BRACKETED_RE = re.compile(r"\[[^\]]*\]|\([^)]*\)")
+_FOOTNOTE_RE = re.compile(r"[*†‡#]+$")
+
+
+def normalize_text(text: str, strip_bracketed: bool = True) -> str:
+    """Clean a raw cell/header string.
+
+    Unescapes HTML entities, optionally removes bracketed asides
+    (``"Paris (France)" -> "Paris"``), strips trailing footnote markers and
+    collapses whitespace.
+
+    Args:
+        text: The raw string as extracted from HTML.
+        strip_bracketed: Remove ``[...]`` and ``(...)`` spans.  Disabled by
+            callers that need the full surface form.
+    """
+    cleaned = html.unescape(text)
+    if strip_bracketed:
+        cleaned = _BRACKETED_RE.sub(" ", cleaned)
+    cleaned = _FOOTNOTE_RE.sub("", cleaned.strip())
+    cleaned = _WHITESPACE_RE.sub(" ", cleaned)
+    return cleaned.strip()
+
+
+_NUMERIC_RE = re.compile(
+    r"^[+-]?(\d{1,3}(,\d{3})*|\d+)(\.\d+)?\s*(%|km|kg|m|s|mi|ft)?$"
+)
+
+
+def is_numeric_text(text: str) -> bool:
+    """True when the cell is a number (optionally with unit/percent suffix).
+
+    Numeric cells never refer to catalog entities, so candidate generation
+    skips them — mirroring the paper's observation that annotation time
+    depends on "the number of non-numerical columns".
+    """
+    return bool(_NUMERIC_RE.match(text.strip()))
+
+
+_YEAR_RE = re.compile(r"^(1[5-9]\d{2}|20\d{2})$")
+
+
+def is_year_text(text: str) -> bool:
+    """True for a bare 4-digit year (a very common Web-table column)."""
+    return bool(_YEAR_RE.match(text.strip()))

@@ -1,0 +1,60 @@
+"""Tokenisation used everywhere text meets the catalog.
+
+A deliberately simple, deterministic tokeniser: Unicode-aware lower-casing,
+alphanumeric token extraction, optional stop-token removal.  Both the lemma
+index and every similarity measure use this one function so that scores are
+comparable across modules.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+_TOKEN_RE = re.compile(r"[0-9]+|[^\W\d_]+", re.UNICODE)
+
+#: Tokens carrying almost no discriminative signal in cell/lemma text.
+STOP_TOKENS: frozenset[str] = frozenset(
+    {"the", "a", "an", "of", "in", "on", "and", "or", "for", "to", "by"}
+)
+
+
+def tokenize(text: str, drop_stop_tokens: bool = False) -> list[str]:
+    """Split ``text`` into lower-cased alphanumeric tokens.
+
+    Args:
+        text: Arbitrary cell, header, lemma or context text.
+        drop_stop_tokens: When true, remove :data:`STOP_TOKENS` *unless* that
+            would empty the result (a cell reading just "The The" should not
+            vanish).
+
+    Returns:
+        List of tokens in order of appearance (may contain duplicates).
+    """
+    tokens = [match.group(0).lower() for match in _TOKEN_RE.finditer(text)]
+    if drop_stop_tokens:
+        kept = [token for token in tokens if token not in STOP_TOKENS]
+        if kept:
+            return kept
+    return tokens
+
+
+def token_counts(text: str) -> Counter[str]:
+    """Bag-of-tokens view of ``text``."""
+    return Counter(tokenize(text))
+
+
+def token_set(text: str) -> frozenset[str]:
+    """Set-of-tokens view of ``text``."""
+    return frozenset(tokenize(text))
+
+
+def ngrams(tokens: Iterable[str], n: int) -> list[tuple[str, ...]]:
+    """Contiguous token n-grams (used by header phrase matching)."""
+    tokens = list(tokens)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

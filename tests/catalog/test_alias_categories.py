@@ -1,0 +1,70 @@
+"""Tests for the redundant alias-category feature of the synthetic world."""
+
+import pytest
+
+from repro.catalog.synthetic import (
+    SyntheticCatalogConfig,
+    _paraphrase_lemma,
+    generate_world,
+)
+
+
+@pytest.fixture(scope="module")
+def alias_world():
+    return generate_world(
+        SyntheticCatalogConfig(
+            seed=19,
+            n_persons=80,
+            n_movies=40,
+            n_novels=24,
+            n_albums=12,
+            n_countries=8,
+            n_clubs=6,
+            alias_category_fraction=1.0,
+        )
+    )
+
+
+class TestAliasCategories:
+    def test_aliases_created(self, alias_world):
+        aliases = [t for t in alias_world.full.types if t.endswith("_alias")]
+        assert aliases
+
+    def test_alias_shares_parents(self, alias_world):
+        types = alias_world.full.types
+        for alias in (t for t in types if t.endswith("_alias")):
+            original = alias.removesuffix("_alias")
+            assert types.parents(alias) == types.parents(original)
+
+    def test_alias_extension_is_large_subset(self, alias_world):
+        catalog = alias_world.full
+        for alias in (t for t in catalog.types if t.endswith("_alias")):
+            original = alias.removesuffix("_alias")
+            alias_members = catalog.entities_of_type(alias)
+            original_members = catalog.entities_of_type(original)
+            assert alias_members <= original_members
+            # default alias_member_prob 0.85 keeps the extensions close
+            if len(original_members) >= 8:
+                assert len(alias_members) >= 0.5 * len(original_members)
+
+    def test_alias_lemma_is_paraphrase(self, alias_world):
+        catalog = alias_world.full
+        some_alias = next(t for t in catalog.types if t.endswith("_alias"))
+        original = some_alias.removesuffix("_alias")
+        alias_lemma = catalog.types.lemmas(some_alias)[0]
+        original_lemma = catalog.types.lemmas(original)[0]
+        assert alias_lemma != original_lemma
+        # the paraphrase keeps the head tokens (shared vocabulary)
+        assert set(original_lemma.lower().split()) & set(alias_lemma.lower().split())
+
+    def test_disabled_by_default(self, tiny_world):
+        assert not any(t.endswith("_alias") for t in tiny_world.full.types)
+
+
+class TestParaphrase:
+    def test_multi_token(self):
+        assert _paraphrase_lemma("1990s films") == "films of the 1990s"
+        assert _paraphrase_lemma("Veridian actors") == "actors of the Veridian"
+
+    def test_single_token(self):
+        assert _paraphrase_lemma("films") == "notable films"

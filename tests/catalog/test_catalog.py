@@ -1,0 +1,132 @@
+"""Tests for the Catalog facade: E(T), T(E), dist, relatedness, LCA, IDF."""
+
+import math
+
+import pytest
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.errors import UnknownIdError
+
+
+@pytest.fixture()
+def catalog():
+    """Small hierarchy: entity > work > book > {novels_1950s, childrens};
+    one book belongs to both leaf categories, one only to childrens."""
+    return (
+        CatalogBuilder(name="t")
+        .type("work", "work")
+        .type("book", "book", parents=["work"])
+        .type("novels_1950s", "1950s novels", parents=["book"])
+        .type("childrens", "children's novels", parents=["book"])
+        .type("person", "person")
+        .entity("b1", ["Book One"], types=["novels_1950s", "childrens"])
+        .entity("b2", ["Book Two"], types=["childrens"])
+        .entity("p1", ["Ann Author"], types=["person"])
+        .relation("wrote", "book", "person", cardinality="many_to_one")
+        .fact("wrote", "b1", "p1")
+        .build()
+    )
+
+
+class TestDerivedSets:
+    def test_entities_of_type_transitive(self, catalog):
+        assert catalog.entities_of_type("childrens") == {"b1", "b2"}
+        assert catalog.entities_of_type("book") == {"b1", "b2"}
+        assert catalog.entities_of_type("work") == {"b1", "b2"}
+        assert catalog.entities_of_type("person") == {"p1"}
+        assert catalog.entities_of_type("novels_1950s") == {"b1"}
+
+    def test_type_ancestors(self, catalog):
+        ancestors = catalog.type_ancestors("b1")
+        assert {"novels_1950s", "childrens", "book", "work"} <= ancestors
+        assert "person" not in ancestors
+
+    def test_is_instance(self, catalog):
+        assert catalog.is_instance("b2", "book")
+        assert not catalog.is_instance("b2", "novels_1950s")
+        assert not catalog.is_instance("p1", "book")
+
+    def test_unknown_ids_raise(self, catalog):
+        with pytest.raises(UnknownIdError):
+            catalog.entities_of_type("type:missing")
+        with pytest.raises(UnknownIdError):
+            catalog.type_ancestors("ent:missing")
+
+
+class TestDistance:
+    def test_distance_direct(self, catalog):
+        assert catalog.distance("b1", "novels_1950s") == 1
+        assert catalog.distance("b1", "book") == 2
+        assert catalog.distance("b1", "work") == 3
+
+    def test_distance_unreachable_is_inf(self, catalog):
+        assert math.isinf(catalog.distance("p1", "book"))
+
+    def test_distance_takes_shortest_of_multiple_parents(self, catalog):
+        # b1 reaches book via either leaf; still 2
+        assert catalog.distance("b1", "book") == 2
+
+    def test_min_instance_distance(self, catalog):
+        assert catalog.min_instance_distance("childrens") == 1
+        assert catalog.min_instance_distance("book") == 2
+
+    def test_min_instance_distance_empty_type(self):
+        catalog = CatalogBuilder().type("lonely", "lonely").build()
+        assert math.isinf(catalog.min_instance_distance("lonely"))
+
+
+class TestRelatedness:
+    def test_relatedness_full_overlap(self, catalog):
+        # b2 in childrens; E(childrens) subset of E(book): overlap 1.0
+        assert catalog.relatedness("b2", "book") == 1.0
+
+    def test_relatedness_partial(self, catalog):
+        # b2's parent childrens = {b1, b2}; E(novels_1950s) = {b1}: 0.5
+        assert catalog.relatedness("b2", "novels_1950s") == 0.5
+
+    def test_relatedness_zero_for_disjoint(self, catalog):
+        assert catalog.relatedness("p1", "book") == 0.0
+
+    def test_relatedness_min_over_parents(self, catalog):
+        # b1 has parents novels_1950s ({b1}) and childrens ({b1, b2});
+        # overlap with novels_1950s: 1/1 and 1/2 -> min 0.5
+        assert catalog.relatedness("b1", "novels_1950s") == 0.5
+
+
+class TestSpecificityAndLCA:
+    def test_idf_specificity_monotone(self, catalog):
+        specific = catalog.type_idf_specificity("novels_1950s")
+        general = catalog.type_idf_specificity("book")
+        assert specific > general
+
+    def test_idf_specificity_of_universal_type_is_low(self, catalog):
+        # 'work' and 'person' split all 3 entities
+        assert catalog.type_idf_specificity("work") == pytest.approx(
+            math.log(3 / 2)
+        )
+
+    def test_least_common_ancestors(self, catalog):
+        assert catalog.least_common_ancestors(["novels_1950s", "childrens"]) == {
+            "book"
+        }
+        assert catalog.least_common_ancestors(["childrens"]) == {"childrens"}
+        assert catalog.least_common_ancestors([]) == set()
+
+    def test_lca_disjoint_branches_empty_without_root(self, catalog):
+        # builder added a root; person and book meet there
+        result = catalog.least_common_ancestors(["book", "person"])
+        assert result == {"type:entity"}
+
+
+class TestCacheInvalidation:
+    def test_mutation_invalidates_entity_cache(self, catalog):
+        assert catalog.entities_of_type("childrens") == {"b1", "b2"}
+        catalog.add_entity("b3", ["Book Three"], direct_types=["childrens"])
+        assert catalog.entities_of_type("childrens") == {"b1", "b2", "b3"}
+
+    def test_stats(self, catalog):
+        stats = catalog.stats()
+        assert stats["entities"] == 3
+        assert stats["relations"] == 1
+        assert stats["tuples"] == 1
+        assert stats["types"] >= 5

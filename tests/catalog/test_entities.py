@@ -1,0 +1,82 @@
+"""Unit tests for the entity store."""
+
+import pytest
+
+from repro.catalog.entities import Entity, EntityStore
+from repro.catalog.errors import DuplicateIdError, UnknownIdError
+
+
+class TestEntity:
+    def test_primary_lemma(self):
+        entity = Entity("ent:x", lemmas=("New York", "Big Apple"))
+        assert entity.primary_lemma == "New York"
+
+    def test_primary_lemma_falls_back_to_id(self):
+        assert Entity("ent:x").primary_lemma == "ent:x"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("")
+
+
+class TestEntityStore:
+    def test_add_and_lookup(self):
+        store = EntityStore()
+        store.add_entity("ent:a", lemmas=["Alpha"], direct_types=["type:t"])
+        assert "ent:a" in store
+        assert store.lemmas("ent:a") == ("Alpha",)
+        assert store.direct_types("ent:a") == ("type:t",)
+        assert len(store) == 1
+        assert list(store) == ["ent:a"]
+
+    def test_duplicate_rejected(self):
+        store = EntityStore()
+        store.add_entity("ent:a")
+        with pytest.raises(DuplicateIdError):
+            store.add_entity("ent:a")
+
+    def test_unknown_raises(self):
+        store = EntityStore()
+        with pytest.raises(UnknownIdError):
+            store.get("ent:missing")
+
+    def test_direct_instances_index(self):
+        store = EntityStore()
+        store.add_entity("ent:a", direct_types=["type:t"])
+        store.add_entity("ent:b", direct_types=["type:t", "type:u"])
+        assert store.direct_instances("type:t") == {"ent:a", "ent:b"}
+        assert store.direct_instances("type:u") == {"ent:b"}
+        assert store.direct_instances("type:none") == frozenset()
+
+    def test_add_direct_type_updates_index(self):
+        store = EntityStore()
+        store.add_entity("ent:a", direct_types=["type:t"])
+        store.add_direct_type("ent:a", "type:u")
+        assert store.direct_types("ent:a") == ("type:t", "type:u")
+        assert store.direct_instances("type:u") == {"ent:a"}
+        # idempotent
+        store.add_direct_type("ent:a", "type:u")
+        assert store.direct_types("ent:a") == ("type:t", "type:u")
+
+    def test_remove_direct_type(self):
+        store = EntityStore()
+        store.add_entity("ent:a", direct_types=["type:t", "type:u"])
+        assert store.remove_direct_type("ent:a", "type:u") is True
+        assert store.direct_types("ent:a") == ("type:t",)
+        assert store.direct_instances("type:u") == frozenset()
+        assert store.remove_direct_type("ent:a", "type:u") is False
+
+    def test_add_lemmas_preserves_order_and_dedups(self):
+        store = EntityStore()
+        store.add_entity("ent:a", lemmas=["One"])
+        store.add_lemmas("ent:a", ["Two", "One", "Three"])
+        assert store.lemmas("ent:a") == ("One", "Two", "Three")
+
+    def test_all_entities(self):
+        store = EntityStore()
+        store.add_entity("ent:a")
+        store.add_entity("ent:b")
+        assert [entity.entity_id for entity in store.all_entities()] == [
+            "ent:a",
+            "ent:b",
+        ]

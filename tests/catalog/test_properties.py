@@ -1,0 +1,112 @@
+"""Hypothesis property tests on catalog invariants over random DAGs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.errors import CycleError
+from repro.catalog.types import TypeHierarchy
+
+
+def random_hierarchy(seed: int, n_types: int) -> TypeHierarchy:
+    """A random DAG: edges only from later-created types to earlier ones,
+    so acyclicity is guaranteed by construction."""
+    rng = random.Random(seed)
+    hierarchy = TypeHierarchy()
+    for index in range(n_types):
+        hierarchy.add_type(f"t{index}")
+        for parent_index in range(index):
+            if rng.random() < 0.3:
+                hierarchy.add_subtype(f"t{index}", f"t{parent_index}")
+    return hierarchy
+
+
+@given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=2, max_value=9))
+@settings(max_examples=50, deadline=None)
+def test_ancestor_descendant_duality(seed, n_types):
+    """b in ancestors(a)  <=>  a in descendants(b)."""
+    hierarchy = random_hierarchy(seed, n_types)
+    for a in hierarchy:
+        for b in hierarchy.ancestors(a):
+            assert a in hierarchy.descendants(b)
+    for b in hierarchy:
+        for a in hierarchy.descendants(b):
+            assert b in hierarchy.ancestors(a)
+
+
+@given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=2, max_value=9))
+@settings(max_examples=50, deadline=None)
+def test_is_subtype_matches_ancestors(seed, n_types):
+    hierarchy = random_hierarchy(seed, n_types)
+    for a in hierarchy:
+        ancestors = hierarchy.ancestors(a, include_self=True)
+        for b in hierarchy:
+            assert hierarchy.is_subtype(a, b) == (b in ancestors)
+
+
+@given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=2, max_value=9))
+@settings(max_examples=50, deadline=None)
+def test_hops_up_consistent_with_reachability(seed, n_types):
+    hierarchy = random_hierarchy(seed, n_types)
+    for a in hierarchy:
+        for b in hierarchy:
+            hops = hierarchy.hops_up(a, b)
+            if hierarchy.is_subtype(a, b):
+                assert hops is not None
+                assert hops >= 0
+                if a != b:
+                    assert hops >= 1
+            else:
+                assert hops is None
+
+
+@given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=3, max_value=9))
+@settings(max_examples=50, deadline=None)
+def test_minimal_elements_are_antichain_subset(seed, n_types):
+    hierarchy = random_hierarchy(seed, n_types)
+    rng = random.Random(seed + 1)
+    subset = {t for t in hierarchy if rng.random() < 0.6}
+    minimal = hierarchy.minimal_elements(subset)
+    assert minimal <= subset
+    # no member of the minimal set is an ancestor of another member
+    for a in minimal:
+        for b in minimal:
+            if a != b:
+                assert not hierarchy.is_subtype(a, b)
+    # every member of the subset has some minimal element below-or-equal it
+    for t in subset:
+        assert any(hierarchy.is_subtype(m, t) for m in minimal)
+
+
+@given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=2, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_entities_of_type_monotone_up_the_dag(seed, n_types):
+    """E(T_child) ⊆ E(T_parent) for every subtype edge."""
+    hierarchy = random_hierarchy(seed, n_types)
+    catalog = Catalog(types=hierarchy)
+    rng = random.Random(seed + 2)
+    type_ids = list(hierarchy)
+    for index in range(10):
+        direct = rng.sample(type_ids, k=rng.randint(1, min(2, len(type_ids))))
+        catalog.entities.add_entity(f"e{index}", direct_types=tuple(direct))
+    catalog.invalidate_caches()
+    for child in hierarchy:
+        for parent in hierarchy.ancestors(child):
+            assert catalog.entities_of_type(child) <= catalog.entities_of_type(parent)
+
+
+@given(st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=30, deadline=None)
+def test_cycle_insertion_always_rejected(seed):
+    hierarchy = random_hierarchy(seed, 6)
+    # any edge from an ancestor down to a descendant would close a cycle
+    for a in hierarchy:
+        for b in hierarchy.ancestors(a):
+            try:
+                hierarchy.add_subtype(b, a)
+                raised = False
+            except CycleError:
+                raised = True
+            assert raised

@@ -1,0 +1,110 @@
+"""Unit tests for the relation store, including functionality violations."""
+
+import pytest
+
+from repro.catalog.errors import DuplicateIdError, UnknownIdError
+from repro.catalog.relations import Cardinality, RelationStore
+
+
+@pytest.fixture()
+def store() -> RelationStore:
+    relations = RelationStore()
+    relations.add_relation(
+        "rel:directed",
+        "type:movie",
+        "type:director",
+        lemmas=["directed by"],
+        cardinality=Cardinality.MANY_TO_ONE,
+    )
+    relations.add_relation("rel:acted_in", "type:movie", "type:actor")
+    relations.add_tuple("rel:directed", "ent:m1", "ent:d1")
+    relations.add_tuple("rel:directed", "ent:m2", "ent:d1")
+    relations.add_tuple("rel:acted_in", "ent:m1", "ent:a1")
+    relations.add_tuple("rel:acted_in", "ent:m1", "ent:a2")
+    return relations
+
+
+class TestCardinality:
+    def test_subject_functional(self):
+        assert Cardinality.MANY_TO_ONE.subject_functional
+        assert Cardinality.ONE_TO_ONE.subject_functional
+        assert not Cardinality.ONE_TO_MANY.subject_functional
+        assert not Cardinality.MANY_TO_MANY.subject_functional
+
+    def test_object_functional(self):
+        assert Cardinality.ONE_TO_MANY.object_functional
+        assert Cardinality.ONE_TO_ONE.object_functional
+        assert not Cardinality.MANY_TO_ONE.object_functional
+
+    def test_string_coercion(self):
+        store = RelationStore()
+        relation = store.add_relation("rel:x", "t1", "t2", cardinality="one_to_one")
+        assert relation.cardinality is Cardinality.ONE_TO_ONE
+
+
+class TestTuples:
+    def test_has_tuple_and_counts(self, store):
+        assert store.has_tuple("rel:directed", "ent:m1", "ent:d1")
+        assert not store.has_tuple("rel:directed", "ent:d1", "ent:m1")
+        assert store.tuple_count("rel:directed") == 2
+        assert store.tuples("rel:acted_in") == {
+            ("ent:m1", "ent:a1"),
+            ("ent:m1", "ent:a2"),
+        }
+
+    def test_add_tuple_idempotent(self, store):
+        store.add_tuple("rel:directed", "ent:m1", "ent:d1")
+        assert store.tuple_count("rel:directed") == 2
+
+    def test_objects_and_subjects_of(self, store):
+        assert store.objects_of("rel:acted_in", "ent:m1") == {"ent:a1", "ent:a2"}
+        assert store.subjects_of("rel:directed", "ent:d1") == {"ent:m1", "ent:m2"}
+        assert store.objects_of("rel:directed", "ent:unknown") == frozenset()
+
+    def test_participants(self, store):
+        assert store.participating_subjects("rel:directed") == {"ent:m1", "ent:m2"}
+        assert store.participating_objects("rel:directed") == {"ent:d1"}
+
+    def test_relations_between(self, store):
+        assert store.relations_between("ent:m1", "ent:d1") == {"rel:directed"}
+        assert store.relations_between("ent:m1", "ent:a1") == {"rel:acted_in"}
+        assert store.relations_between("ent:a1", "ent:m1") == frozenset()
+
+    def test_remove_tuple(self, store):
+        assert store.remove_tuple("rel:directed", "ent:m1", "ent:d1") is True
+        assert not store.has_tuple("rel:directed", "ent:m1", "ent:d1")
+        assert store.relations_between("ent:m1", "ent:d1") == frozenset()
+        assert store.remove_tuple("rel:directed", "ent:m1", "ent:d1") is False
+
+    def test_unknown_relation_raises(self, store):
+        with pytest.raises(UnknownIdError):
+            store.add_tuple("rel:missing", "a", "b")
+        with pytest.raises(UnknownIdError):
+            store.tuples("rel:missing")
+
+    def test_duplicate_relation_rejected(self, store):
+        with pytest.raises(DuplicateIdError):
+            store.add_relation("rel:directed", "t", "u")
+
+
+class TestFunctionality:
+    def test_violation_for_many_to_one(self, store):
+        # m1 already directed by d1; labelling (m1, other) contradicts it
+        assert store.violates_functionality("rel:directed", "ent:m1", "ent:other")
+        # the known tuple itself is not a violation
+        assert not store.violates_functionality("rel:directed", "ent:m1", "ent:d1")
+        # unseen subject: nothing known, nothing violated
+        assert not store.violates_functionality("rel:directed", "ent:m9", "ent:d1")
+
+    def test_no_violation_for_many_to_many(self, store):
+        assert not store.violates_functionality("rel:acted_in", "ent:m1", "ent:a9")
+
+    def test_object_side_violation(self):
+        relations = RelationStore()
+        relations.add_relation(
+            "rel:capital_of", "type:city", "type:country", cardinality="one_to_many"
+        )
+        relations.add_tuple("rel:capital_of", "ent:c1", "ent:x")
+        # country x already has capital c1: pairing x with c2 violates
+        assert relations.violates_functionality("rel:capital_of", "ent:c2", "ent:x")
+        assert not relations.violates_functionality("rel:capital_of", "ent:c1", "ent:x")

@@ -1,0 +1,153 @@
+"""Tests for the synthetic world generator: determinism, structure, corruption."""
+
+import pytest
+
+from repro.catalog.io import catalog_to_dict
+from repro.catalog.synthetic import (
+    SyntheticCatalogConfig,
+    SyntheticCatalogGenerator,
+    generate_world,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = SyntheticCatalogConfig(seed=42, n_persons=40, n_movies=20)
+        world_a = generate_world(config)
+        world_b = generate_world(config)
+        assert catalog_to_dict(world_a.full) == catalog_to_dict(world_b.full)
+        assert catalog_to_dict(world_a.annotator_view) == catalog_to_dict(
+            world_b.annotator_view
+        )
+
+    def test_different_seed_different_world(self):
+        world_a = generate_world(SyntheticCatalogConfig(seed=1, n_persons=40))
+        world_b = generate_world(SyntheticCatalogConfig(seed=2, n_persons=40))
+        assert catalog_to_dict(world_a.full) != catalog_to_dict(world_b.full)
+
+
+class TestStructure:
+    def test_sizes_respected(self, tiny_world):
+        config = tiny_world.config
+        persons = [
+            e
+            for e in tiny_world.full.entities.all_entities()
+            if e.entity_id.startswith("ent:person:")
+        ]
+        assert len(persons) == config.n_persons
+        assert len(tiny_world.full.entities_of_type("type:movie")) == config.n_movies
+
+    def test_every_entity_has_type_and_lemma(self, tiny_world):
+        for entity in tiny_world.full.entities.all_entities():
+            assert entity.lemmas, entity.entity_id
+            assert entity.direct_types, entity.entity_id
+
+    def test_query_relations_exist_with_tuples(self, tiny_world):
+        for relation_id in tiny_world.query_relations:
+            assert relation_id in tiny_world.full.relations
+            assert tiny_world.full.relations.tuple_count(relation_id) > 0
+
+    def test_appendix_g_schemas(self, world):
+        """The five search relations carry the paper's type signatures."""
+        expected = {
+            "rel:acted_in": ("type:movie", "type:actor"),
+            "rel:directed": ("type:movie", "type:director"),
+            "rel:wrote": ("type:novel", "type:novelist"),
+            "rel:official_language": ("type:country", "type:language"),
+            "rel:produced": ("type:movie", "type:producer"),
+        }
+        for relation_id, (subject_type, object_type) in expected.items():
+            relation = world.full.relations.get(relation_id)
+            assert relation.subject_type == subject_type
+            assert relation.object_type == object_type
+
+    def test_directed_is_functional(self, world):
+        relation = world.full.relations.get("rel:directed")
+        assert relation.cardinality.subject_functional
+        for movie in world.full.relations.participating_subjects("rel:directed"):
+            assert len(world.full.relations.objects_of("rel:directed", movie)) == 1
+
+    def test_lemma_ambiguity_exists(self, world):
+        """Several persons must share a surname lemma (the paper's 7-8
+        candidates per cell depend on it)."""
+        lemma_owners: dict[str, set[str]] = {}
+        for entity in world.full.entities.all_entities():
+            if not entity.entity_id.startswith("ent:person:"):
+                continue
+            for lemma in entity.lemmas:
+                if " " not in lemma:
+                    lemma_owners.setdefault(lemma, set()).add(entity.entity_id)
+        shared = [owners for owners in lemma_owners.values() if len(owners) >= 2]
+        assert shared, "no shared surname lemmas generated"
+
+    def test_adaptations_share_titles(self, world):
+        movie_titles = {
+            world.full.entities.get(m).primary_lemma
+            for m in world.full.entities_of_type("type:movie")
+        }
+        novel_titles = {
+            world.full.entities.get(n).primary_lemma
+            for n in world.full.entities_of_type("type:novel")
+        }
+        assert movie_titles & novel_titles, "no adaptation title collisions"
+
+    def test_person_has_orthogonal_people_category(self, world):
+        person = world.full.entities.get("ent:person:0000")
+        assert any("_people" in t for t in person.direct_types)
+
+    def test_spine_depth(self, world):
+        some_actor = next(iter(world.full.entities_of_type("type:actor")))
+        assert world.full.distance(some_actor, "type:entity") >= 4
+
+
+class TestCorruption:
+    def test_view_has_fewer_links_and_tuples(self, world):
+        full_stats = world.full.stats()
+        view_stats = world.annotator_view.stats()
+        assert view_stats["tuples"] < full_stats["tuples"]
+        full_links = sum(
+            len(e.direct_types) for e in world.full.entities.all_entities()
+        )
+        view_links = sum(
+            len(e.direct_types) for e in world.annotator_view.entities.all_entities()
+        )
+        assert view_links < full_links
+
+    def test_view_keeps_every_entity_typed(self, world):
+        for entity in world.annotator_view.entities.all_entities():
+            assert entity.direct_types, entity.entity_id
+
+    def test_view_same_entity_set(self, world):
+        assert set(iter(world.full.entities)) == set(iter(world.annotator_view.entities))
+
+    def test_zero_corruption_view_equals_full(self):
+        config = SyntheticCatalogConfig(
+            seed=5,
+            n_persons=30,
+            n_movies=15,
+            drop_instance_link_prob=0.0,
+            drop_subtype_link_prob=0.0,
+            drop_tuple_prob=0.0,
+        )
+        world = generate_world(config)
+        full = catalog_to_dict(world.full)
+        view = catalog_to_dict(world.annotator_view)
+        assert full["entities"] == view["entities"]
+        assert full["facts"] == view["facts"]
+
+    def test_full_catalog_untouched_by_corruption(self):
+        heavy = SyntheticCatalogConfig(seed=5, drop_instance_link_prob=0.9)
+        light = SyntheticCatalogConfig(seed=5, drop_instance_link_prob=0.0)
+        assert catalog_to_dict(generate_world(heavy).full) == catalog_to_dict(
+            generate_world(light).full
+        )
+
+
+class TestValidation:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCatalogGenerator(SyntheticCatalogConfig(drop_tuple_prob=1.5))
+
+    def test_too_many_countries_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCatalogGenerator(SyntheticCatalogConfig(n_countries=999))

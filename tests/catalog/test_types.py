@@ -1,0 +1,152 @@
+"""Unit tests for the type hierarchy DAG."""
+
+import pytest
+
+from repro.catalog.errors import CycleError, DuplicateIdError, UnknownIdError
+from repro.catalog.types import ROOT_TYPE_ID, TypeHierarchy
+
+
+@pytest.fixture()
+def diamond() -> TypeHierarchy:
+    """entity -> {work, person}; book under work; novel under book; also
+    novel under award_winners to exercise multiple parents (a diamond)."""
+    hierarchy = TypeHierarchy()
+    for type_id in ("entity", "work", "person", "book", "novel", "award_winners"):
+        hierarchy.add_type(type_id, lemmas=(type_id,))
+    hierarchy.add_subtype("work", "entity")
+    hierarchy.add_subtype("person", "entity")
+    hierarchy.add_subtype("book", "work")
+    hierarchy.add_subtype("novel", "book")
+    hierarchy.add_subtype("award_winners", "work")
+    hierarchy.add_subtype("novel", "award_winners")
+    return hierarchy
+
+
+class TestBasics:
+    def test_add_and_get(self):
+        hierarchy = TypeHierarchy()
+        node = hierarchy.add_type("type:a", lemmas=("alpha", "a"))
+        assert node.type_id == "type:a"
+        assert hierarchy.get("type:a").lemmas == ("alpha", "a")
+        assert "type:a" in hierarchy
+        assert len(hierarchy) == 1
+
+    def test_duplicate_type_rejected(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.add_type("type:a")
+        with pytest.raises(DuplicateIdError):
+            hierarchy.add_type("type:a")
+
+    def test_unknown_type_raises(self):
+        hierarchy = TypeHierarchy()
+        with pytest.raises(UnknownIdError):
+            hierarchy.get("type:missing")
+        with pytest.raises(UnknownIdError):
+            hierarchy.parents("type:missing")
+
+    def test_empty_type_id_rejected(self):
+        hierarchy = TypeHierarchy()
+        with pytest.raises(ValueError):
+            hierarchy.add_type("")
+
+    def test_add_lemmas_appends_without_duplicates(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.add_type("type:a", lemmas=("alpha",))
+        hierarchy.add_lemmas("type:a", ["beta", "alpha", "gamma"])
+        assert hierarchy.lemmas("type:a") == ("alpha", "beta", "gamma")
+
+
+class TestEdges:
+    def test_parents_and_children(self, diamond):
+        assert diamond.parents("book") == {"work"}
+        assert diamond.children("work") == {"book", "award_winners"}
+        assert diamond.parents("novel") == {"book", "award_winners"}
+
+    def test_edge_to_unknown_rejected(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.add_type("type:a")
+        with pytest.raises(UnknownIdError):
+            hierarchy.add_subtype("type:a", "type:missing")
+        with pytest.raises(UnknownIdError):
+            hierarchy.add_subtype("type:missing", "type:a")
+
+    def test_self_loop_rejected(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.add_type("type:a")
+        with pytest.raises(CycleError):
+            hierarchy.add_subtype("type:a", "type:a")
+
+    def test_cycle_rejected(self, diamond):
+        with pytest.raises(CycleError):
+            diamond.add_subtype("entity", "novel")
+
+    def test_remove_subtype(self, diamond):
+        assert diamond.remove_subtype("novel", "award_winners") is True
+        assert diamond.parents("novel") == {"book"}
+        assert diamond.remove_subtype("novel", "award_winners") is False
+
+
+class TestClosures:
+    def test_ancestors(self, diamond):
+        assert diamond.ancestors("novel") == {"book", "work", "award_winners", "entity"}
+        assert diamond.ancestors("novel", include_self=True) >= {"novel"}
+        assert diamond.ancestors("entity") == set()
+
+    def test_descendants(self, diamond):
+        assert diamond.descendants("work") == {"book", "novel", "award_winners"}
+        assert diamond.descendants("novel") == set()
+
+    def test_is_subtype_reflexive_transitive(self, diamond):
+        assert diamond.is_subtype("novel", "novel")
+        assert diamond.is_subtype("novel", "entity")
+        assert diamond.is_subtype("novel", "award_winners")
+        assert not diamond.is_subtype("entity", "novel")
+        assert not diamond.is_subtype("person", "work")
+
+    def test_hops_up_shortest_path(self, diamond):
+        assert diamond.hops_up("novel", "novel") == 0
+        assert diamond.hops_up("novel", "book") == 1
+        # two paths to work: via book (2) and via award_winners (2)
+        assert diamond.hops_up("novel", "work") == 2
+        assert diamond.hops_up("novel", "entity") == 3
+        assert diamond.hops_up("entity", "novel") is None
+
+    def test_roots_and_leaves(self, diamond):
+        assert diamond.roots() == {"entity"}
+        assert diamond.leaves() == {"novel", "person"}
+
+
+class TestRootAndOrder:
+    def test_ensure_root_links_parentless(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.add_type("a")
+        hierarchy.add_type("b")
+        root = hierarchy.ensure_root()
+        assert root == ROOT_TYPE_ID
+        assert hierarchy.parents("a") == {ROOT_TYPE_ID}
+        assert hierarchy.parents("b") == {ROOT_TYPE_ID}
+
+    def test_ensure_root_idempotent(self):
+        hierarchy = TypeHierarchy()
+        hierarchy.add_type("a")
+        hierarchy.ensure_root()
+        hierarchy.ensure_root()
+        assert hierarchy.parents("a") == {ROOT_TYPE_ID}
+
+    def test_topological_order_parents_first(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("entity") < order.index("work")
+        assert order.index("work") < order.index("book")
+        assert order.index("book") < order.index("novel")
+        assert order.index("award_winners") < order.index("novel")
+        assert len(order) == 6
+
+    def test_minimal_elements(self, diamond):
+        assert diamond.minimal_elements({"entity", "work", "book"}) == {"book"}
+        assert diamond.minimal_elements({"novel", "person"}) == {"novel", "person"}
+        assert diamond.minimal_elements(set()) == set()
+        # incomparable siblings both stay
+        assert diamond.minimal_elements({"book", "award_winners"}) == {
+            "book",
+            "award_winners",
+        }

@@ -1,0 +1,126 @@
+"""Shared fixtures: a small deterministic world, datasets and annotators.
+
+Session-scoped where construction is expensive; all seeds fixed so every
+test run sees byte-identical data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.builder import CatalogBuilder
+from repro.catalog.synthetic import (
+    SyntheticCatalogConfig,
+    SyntheticWorld,
+    generate_world,
+)
+from repro.core.annotator import TableAnnotator
+from repro.core.model import default_model
+from repro.eval.datasets import DatasetSizes, build_standard_datasets
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+
+
+@pytest.fixture(scope="session")
+def world() -> SyntheticWorld:
+    """The default synthetic world (full + corrupted annotator view)."""
+    return generate_world(SyntheticCatalogConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> SyntheticWorld:
+    """A miniature world for tests that iterate many times."""
+    return generate_world(
+        SyntheticCatalogConfig(
+            seed=13,
+            n_persons=60,
+            n_movies=30,
+            n_novels=20,
+            n_albums=12,
+            n_countries=8,
+            n_clubs=6,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def wiki_tables(world):
+    """A dozen clean labeled tables."""
+    generator = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(seed=21, n_tables=12, noise=NoiseProfile.WIKI),
+    )
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def web_tables(world):
+    """A dozen noisy labeled tables."""
+    generator = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(seed=22, n_tables=12, noise=NoiseProfile.WEB),
+    )
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def annotator(world) -> TableAnnotator:
+    """Annotator on the corrupted view with default weights."""
+    return TableAnnotator(world.annotator_view, model=default_model())
+
+
+@pytest.fixture(scope="session")
+def datasets(world):
+    """Small standard dataset analogues."""
+    return build_standard_datasets(
+        world,
+        DatasetSizes(wiki_manual=8, web_manual=8, web_relations=5, wiki_link=10),
+    )
+
+
+@pytest.fixture()
+def book_catalog():
+    """The Figure-1 books/authors scenario as a hand-built catalog."""
+    return (
+        CatalogBuilder(name="books")
+        .type("type:person", "person")
+        .type("type:physicist", "physicist", parents=["type:person"])
+        .type("type:author", "author", "writer", parents=["type:person"])
+        .type("type:book", "book", "title")
+        .type("type:science_books", "science books", parents=["type:book"])
+        .entity(
+            "ent:einstein",
+            ["Albert Einstein", "A. Einstein", "Einstein"],
+            types=["type:physicist", "type:author"],
+        )
+        .entity("ent:stannard", ["Russell Stannard"], types=["type:author"])
+        .entity(
+            "ent:relativity",
+            ["Relativity: The Special and the General Theory", "Relativity"],
+            types=["type:science_books"],
+        )
+        .entity(
+            "ent:uncle_albert",
+            ["Uncle Albert and the Quantum Quest"],
+            types=["type:science_books"],
+        )
+        .entity(
+            "ent:time_space",
+            ["The Time and Space of Uncle Albert"],
+            types=["type:science_books"],
+        )
+        .relation(
+            "rel:wrote",
+            "type:book",
+            "type:author",
+            lemmas=["written by", "author"],
+            cardinality="many_to_one",
+        )
+        .fact("rel:wrote", "ent:relativity", "ent:einstein")
+        .fact("rel:wrote", "ent:uncle_albert", "ent:stannard")
+        .fact("rel:wrote", "ent:time_space", "ent:stannard")
+        .build()
+    )

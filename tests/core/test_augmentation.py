@@ -1,0 +1,209 @@
+"""Tests for catalog augmentation from annotated tables."""
+
+import pytest
+
+from repro.core.annotation import (
+    CellAnnotation,
+    ColumnAnnotation,
+    RelationAnnotation,
+    TableAnnotation,
+)
+from repro.core.augmentation import CatalogAugmenter, recovered_fraction
+
+
+def annotation_with(
+    table_id: str,
+    cells: dict,
+    columns: dict,
+    relations: dict,
+    cell_score: float = 1.0,
+    relation_score: float = 1.0,
+) -> TableAnnotation:
+    annotation = TableAnnotation(table_id=table_id)
+    for (row, column), entity in cells.items():
+        annotation.cells[(row, column)] = CellAnnotation(
+            row, column, entity, score=cell_score
+        )
+    for column, type_id in columns.items():
+        annotation.columns[column] = ColumnAnnotation(
+            column, type_id, score=cell_score
+        )
+    for (left, right), label in relations.items():
+        annotation.relations[(left, right)] = RelationAnnotation(
+            left, right, label, score=relation_score
+        )
+    return annotation
+
+
+class TestTupleMining:
+    def test_new_tuple_proposed(self, book_catalog):
+        # the catalog knows wrote(time_space, stannard); pretend a table
+        # asserts wrote(petros-like new fact): use an unknown pairing
+        augmenter = CatalogAugmenter(book_catalog)
+        annotation = annotation_with(
+            "t1",
+            cells={(0, 0): "ent:uncle_albert", (0, 1): "ent:einstein"},
+            columns={0: "type:book", 1: "type:author"},
+            relations={(0, 1): "rel:wrote"},
+        )
+        augmenter.add_annotated_table(annotation)
+        report = augmenter.report()
+        assert len(report.tuples) == 1
+        proposal = report.tuples[0]
+        assert proposal.relation_id == "rel:wrote"
+        assert proposal.subject == "ent:uncle_albert"
+        assert proposal.object_ == "ent:einstein"
+        assert proposal.support == 1
+
+    def test_known_tuple_not_proposed(self, book_catalog):
+        augmenter = CatalogAugmenter(book_catalog)
+        annotation = annotation_with(
+            "t1",
+            cells={(0, 0): "ent:relativity", (0, 1): "ent:einstein"},
+            columns={0: "type:book", 1: "type:author"},
+            relations={(0, 1): "rel:wrote"},
+        )
+        augmenter.add_annotated_table(annotation)
+        assert augmenter.report().tuples == []
+
+    def test_reversed_label_orientation(self, book_catalog):
+        augmenter = CatalogAugmenter(book_catalog)
+        annotation = annotation_with(
+            "t1",
+            cells={(0, 0): "ent:einstein", (0, 1): "ent:uncle_albert"},
+            columns={0: "type:author", 1: "type:book"},
+            relations={(0, 1): "rel:wrote^-1"},
+        )
+        augmenter.add_annotated_table(annotation)
+        proposal = augmenter.report().tuples[0]
+        assert proposal.subject == "ent:uncle_albert"
+        assert proposal.object_ == "ent:einstein"
+
+    def test_support_accumulates_across_tables(self, book_catalog):
+        augmenter = CatalogAugmenter(book_catalog)
+        for table_id in ("t1", "t2", "t3"):
+            augmenter.add_annotated_table(
+                annotation_with(
+                    table_id,
+                    cells={(0, 0): "ent:uncle_albert", (0, 1): "ent:einstein"},
+                    columns={0: "type:book", 1: "type:author"},
+                    relations={(0, 1): "rel:wrote"},
+                )
+            )
+        proposal = augmenter.report().tuples[0]
+        assert proposal.support == 3
+        assert proposal.source_tables == ("t1", "t2", "t3")
+
+    def test_na_cells_contribute_nothing(self, book_catalog):
+        augmenter = CatalogAugmenter(book_catalog)
+        augmenter.add_annotated_table(
+            annotation_with(
+                "t1",
+                cells={(0, 0): None, (0, 1): "ent:einstein"},
+                columns={0: "type:book", 1: "type:author"},
+                relations={(0, 1): "rel:wrote"},
+            )
+        )
+        assert augmenter.report().tuples == []
+
+
+class TestInstanceLinkMining:
+    def test_missing_link_proposed(self, book_catalog):
+        # stannard is not a physicist in the catalog; a (hypothetical)
+        # annotation asserting it should surface as a proposal
+        augmenter = CatalogAugmenter(book_catalog)
+        augmenter.add_annotated_table(
+            annotation_with(
+                "t1",
+                cells={(0, 0): "ent:stannard"},
+                columns={0: "type:physicist"},
+                relations={},
+            )
+        )
+        report = augmenter.report()
+        assert len(report.instance_links) == 1
+        assert report.instance_links[0].entity_id == "ent:stannard"
+        assert report.instance_links[0].type_id == "type:physicist"
+
+    def test_known_link_not_proposed(self, book_catalog):
+        augmenter = CatalogAugmenter(book_catalog)
+        augmenter.add_annotated_table(
+            annotation_with(
+                "t1",
+                cells={(0, 0): "ent:einstein"},
+                columns={0: "type:person"},
+                relations={},
+            )
+        )
+        assert augmenter.report().instance_links == []
+
+
+class TestApply:
+    def test_apply_writes_facts(self, book_catalog):
+        augmenter = CatalogAugmenter(book_catalog)
+        augmenter.add_annotated_table(
+            annotation_with(
+                "t1",
+                cells={(0, 0): "ent:uncle_albert", (0, 1): "ent:einstein"},
+                columns={0: "type:book", 1: "type:author"},
+                relations={(0, 1): "rel:wrote"},
+            )
+        )
+        report = augmenter.report()
+        counts = report.apply_to(book_catalog)
+        assert counts["tuples"] == 1
+        assert book_catalog.relations.has_tuple(
+            "rel:wrote", "ent:uncle_albert", "ent:einstein"
+        )
+
+    def test_min_support_filter(self, book_catalog):
+        augmenter = CatalogAugmenter(book_catalog)
+        augmenter.add_annotated_table(
+            annotation_with(
+                "t1",
+                cells={(0, 0): "ent:uncle_albert", (0, 1): "ent:einstein"},
+                columns={0: "type:book", 1: "type:author"},
+                relations={(0, 1): "rel:wrote"},
+            )
+        )
+        counts = augmenter.report().apply_to(book_catalog, min_support=2)
+        assert counts["tuples"] == 0
+
+
+class TestEndToEndRecovery:
+    def test_recovers_dropped_tuples(self, world, annotator, wiki_tables):
+        """Annotating clean tables must recover some of the tuples that the
+        corruption dropped from the annotator's view, at high precision."""
+        augmenter = CatalogAugmenter(world.annotator_view, min_confidence=1.0)
+        for labeled in wiki_tables:
+            augmenter.add_annotated_table(annotator.annotate(labeled.table))
+        report = augmenter.report()
+        assert report.tuples, "no tuple proposals mined"
+        stats = recovered_fraction(
+            report.tuples, world.full, world.annotator_view
+        )
+        assert stats["precision"] > 0.7
+        assert stats["recall_of_dropped"] > 0.0
+
+    def test_confidence_threshold_trades_recall_for_precision(
+        self, world, annotator, wiki_tables
+    ):
+        annotations = [annotator.annotate(labeled.table) for labeled in wiki_tables]
+        stats_by_threshold = {}
+        for threshold in (0.0, 1.0):
+            augmenter = CatalogAugmenter(
+                world.annotator_view, min_confidence=threshold
+            )
+            for annotation in annotations:
+                augmenter.add_annotated_table(annotation)
+            stats_by_threshold[threshold] = recovered_fraction(
+                augmenter.report().tuples, world.full, world.annotator_view
+            )
+        assert (
+            stats_by_threshold[1.0]["precision"]
+            >= stats_by_threshold[0.0]["precision"]
+        )
+        assert (
+            stats_by_threshold[0.0]["recall_of_dropped"]
+            >= stats_by_threshold[1.0]["recall_of_dropped"]
+        )

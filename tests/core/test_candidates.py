@@ -1,0 +1,110 @@
+"""Tests for candidate space generation (Erc, Tc, Bcc')."""
+
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+
+
+@pytest.fixture()
+def generator(book_catalog) -> CandidateGenerator:
+    return CandidateGenerator(book_catalog, top_k_entities=5)
+
+
+class TestCellCandidates:
+    def test_exact_cell_retrieves_entity(self, generator):
+        candidates = generator.cell_candidates("Albert Einstein")
+        assert candidates[0].entity_id == "ent:einstein"
+        assert candidates[0].retrieval_score > 0
+
+    def test_ambiguous_token_retrieves_several(self, generator):
+        # 'Albert' appears in einstein lemmas and two book titles
+        ids = {c.entity_id for c in generator.cell_candidates("Albert")}
+        assert "ent:einstein" in ids
+        assert "ent:uncle_albert" in ids or "ent:time_space" in ids
+
+    def test_numeric_cell_has_no_candidates(self, generator):
+        assert generator.cell_candidates("1951") == []
+        assert generator.cell_candidates("85%") == []
+
+    def test_blank_cell_has_no_candidates(self, generator):
+        assert generator.cell_candidates("") == []
+        assert generator.cell_candidates("   ") == []
+
+    def test_unmatched_text_empty(self, generator):
+        assert generator.cell_candidates("zzz qqq xxx") == []
+
+    def test_top_k_respected(self, book_catalog):
+        generator = CandidateGenerator(book_catalog, top_k_entities=1)
+        assert len(generator.cell_candidates("Albert")) == 1
+
+    def test_validation(self, book_catalog):
+        with pytest.raises(ValueError):
+            CandidateGenerator(book_catalog, top_k_entities=0)
+        with pytest.raises(ValueError):
+            CandidateGenerator(book_catalog, max_type_candidates=0)
+
+    def test_paper_candidate_count_scale(self, world):
+        """On the synthetic world, ambiguous surname cells should retrieve
+        multiple candidates (the paper reports 7-8 typical)."""
+        generator = CandidateGenerator(world.annotator_view, top_k_entities=8)
+        # a bare surname from the shared pool
+        candidates = generator.cell_candidates("Baker")
+        assert len(candidates) >= 2
+
+
+class TestTypeCandidates:
+    def test_union_of_ancestors(self, generator, book_catalog):
+        column = [
+            generator.cell_candidates("Relativity: The Special and the General Theory"),
+            generator.cell_candidates("Uncle Albert and the Quantum Quest"),
+        ]
+        types = generator.column_type_candidates(column)
+        assert "type:book" in types
+        assert "type:science_books" in types
+
+    def test_ranked_by_cell_support(self, generator):
+        column = [
+            generator.cell_candidates("Relativity"),
+            generator.cell_candidates("Uncle Albert and the Quantum Quest"),
+            generator.cell_candidates("The Time and Space of Uncle Albert"),
+        ]
+        types = generator.column_type_candidates(column)
+        # book-family types supported by all cells outrank person types
+        book_rank = types.index("type:book")
+        person_rank = (
+            types.index("type:person") if "type:person" in types else len(types)
+        )
+        assert book_rank < person_rank
+
+    def test_empty_column(self, generator):
+        assert generator.column_type_candidates([[], []]) == []
+
+    def test_cap_respected(self, book_catalog):
+        generator = CandidateGenerator(book_catalog, max_type_candidates=2)
+        column = [generator.cell_candidates("Albert")]
+        assert len(generator.column_type_candidates(column)) <= 2
+
+
+class TestRelationCandidates:
+    def test_forward_relation_found(self, generator):
+        left = [generator.cell_candidates("Relativity")]
+        right = [generator.cell_candidates("A. Einstein")]
+        labels = generator.relation_candidates(left, right)
+        assert "rel:wrote" in labels
+
+    def test_reversed_relation_found(self, generator):
+        left = [generator.cell_candidates("A. Einstein")]
+        right = [generator.cell_candidates("Relativity")]
+        labels = generator.relation_candidates(left, right)
+        assert "rel:wrote^-1" in labels
+
+    def test_no_relation_between_unrelated(self, generator):
+        left = [generator.cell_candidates("Russell Stannard")]
+        right = [generator.cell_candidates("A. Einstein")]
+        assert generator.relation_candidates(left, right) == []
+
+    def test_rowwise_pairing(self, generator):
+        # candidates in different rows must not combine
+        left = [generator.cell_candidates("Relativity"), []]
+        right = [[], generator.cell_candidates("A. Einstein")]
+        assert generator.relation_candidates(left, right) == []

@@ -1,0 +1,120 @@
+"""Tests for structured training."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotator import TableAnnotator
+from repro.core.learning import StructuredTrainer, TrainingConfig, truth_assignment
+from repro.core.model import AnnotationModel, default_model
+from repro.eval.experiments import evaluate_annotation
+
+
+class TestTruthAssignment:
+    def test_maps_truth_onto_variables(self, annotator, wiki_tables):
+        labeled = wiki_tables[0]
+        problem = annotator.build_problem(labeled.table)
+        gold = truth_assignment(problem, labeled.truth)
+        for (row, column), space in problem.cells.items():
+            name = space.variable_name
+            assert name in gold
+            assert gold[name] in space.labels
+
+    def test_unreachable_truth_clamps_to_na(self, annotator, wiki_tables):
+        import copy
+
+        labeled = wiki_tables[0]
+        problem = annotator.build_problem(labeled.table)
+        truth = copy.deepcopy(labeled.truth)  # session fixture: never mutate
+        # inject an impossible truth label
+        some_cell = next(iter(problem.cells))
+        truth.cell_entities[some_cell] = "ent:not-a-real-entity"
+        gold = truth_assignment(problem, truth)
+        assert gold[problem.cells[some_cell].variable_name] is None
+
+
+class TestTrainingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(method="magic").validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0).validate()
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=-1).validate()
+
+
+class TestPerceptron:
+    def test_training_improves_over_bad_weights(self, world, wiki_tables):
+        """Start from deliberately broken weights; training must recover."""
+        bad = AnnotationModel()  # all zeros: everything decodes to na
+        annotator = TableAnnotator(world.annotator_view, model=bad)
+        before = evaluate_annotation(
+            world,
+            _as_dataset(wiki_tables[:6]),
+            bad,
+            algorithms=("collective",),
+        )["collective"].entity.accuracy
+        trainer = StructuredTrainer(
+            annotator, TrainingConfig(epochs=3, learning_rate=0.2, seed=1)
+        )
+        trained = trainer.train(wiki_tables[:6])
+        after = evaluate_annotation(
+            world,
+            _as_dataset(wiki_tables[:6]),
+            trained,
+            algorithms=("collective",),
+        )["collective"].entity.accuracy
+        assert after > before
+        assert after > 0.5
+
+    def test_history_recorded(self, world, wiki_tables):
+        annotator = TableAnnotator(world.annotator_view, model=default_model())
+        trainer = StructuredTrainer(annotator, TrainingConfig(epochs=2))
+        trainer.train(wiki_tables[:3])
+        assert len(trainer.history) == 2
+        assert all("hamming_loss" in entry for entry in trainer.history)
+
+    def test_empty_training_set_rejected(self, world):
+        annotator = TableAnnotator(world.annotator_view)
+        trainer = StructuredTrainer(annotator)
+        with pytest.raises(ValueError):
+            trainer.train([])
+
+    def test_determinism(self, world, wiki_tables):
+        results = []
+        for _ in range(2):
+            annotator = TableAnnotator(world.annotator_view, model=default_model())
+            trainer = StructuredTrainer(
+                annotator, TrainingConfig(epochs=2, seed=42)
+            )
+            results.append(trainer.train(wiki_tables[:4]).as_flat())
+        assert np.allclose(results[0], results[1])
+
+    def test_model_written_back_to_annotator(self, world, wiki_tables):
+        annotator = TableAnnotator(world.annotator_view, model=default_model())
+        trainer = StructuredTrainer(annotator, TrainingConfig(epochs=1))
+        trained = trainer.train(wiki_tables[:3])
+        assert annotator.model is trained
+
+
+class TestSSVM:
+    def test_ssvm_trains(self, world, wiki_tables):
+        annotator = TableAnnotator(world.annotator_view, model=default_model())
+        trainer = StructuredTrainer(
+            annotator,
+            TrainingConfig(epochs=2, method="ssvm", regularization=1e-2, seed=3),
+        )
+        trained = trainer.train(wiki_tables[:4])
+        scores = evaluate_annotation(
+            world,
+            _as_dataset(wiki_tables[:4]),
+            trained,
+            algorithms=("collective",),
+        )["collective"]
+        assert scores.entity.accuracy > 0.7
+
+
+def _as_dataset(tables):
+    from repro.eval.datasets import EvalDataset
+    from repro.tables.generator import NoiseProfile
+
+    return EvalDataset(name="adhoc", tables=tables, noise=NoiseProfile.WIKI)

@@ -1,0 +1,58 @@
+"""Tests for posterior marginal annotation confidences (sum-product)."""
+
+import pytest
+
+from repro.core.annotator import TableAnnotator
+from repro.tables.model import Table
+
+
+class TestAnnotationMarginals:
+    def test_marginals_are_distributions(self, world, wiki_tables):
+        annotator = TableAnnotator(world.annotator_view)
+        marginals = annotator.marginals(wiki_tables[0].table)
+        assert marginals
+        for distribution in marginals.values():
+            total = sum(distribution.values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+            for probability in distribution.values():
+                assert 0.0 <= probability <= 1.0
+
+    def test_confident_cell_has_peaked_marginal(self, book_catalog):
+        annotator = TableAnnotator(book_catalog)
+        table = Table(
+            table_id="t",
+            cells=[
+                ["Relativity: The Special and the General Theory", "A. Einstein"],
+                ["Uncle Albert and the Quantum Quest", "Russell Stannard"],
+            ],
+            headers=["Title", "Author"],
+        )
+        marginals = annotator.marginals(table)
+        cell = marginals["e:0,0"]
+        assert max(cell, key=cell.get) == "ent:relativity"
+        assert cell["ent:relativity"] > 0.8
+
+    def test_ambiguous_cell_spreads_mass(self, world):
+        annotator = TableAnnotator(world.annotator_view)
+        # a bare shared surname with no disambiguating context
+        table = Table(table_id="t", cells=[["Baker", "1999"]], headers=None)
+        marginals = annotator.marginals(table)
+        cell = marginals["e:0,0"]
+        best_probability = max(cell.values())
+        # many homonym candidates: no single entity should own the mass
+        assert best_probability < 0.9
+
+    def test_marginal_argmax_mostly_agrees_with_map(self, world, wiki_tables):
+        annotator = TableAnnotator(world.annotator_view)
+        table = wiki_tables[0].table
+        annotation = annotator.annotate(table)
+        marginals = annotator.marginals(table)
+        agree = total = 0
+        for (row, column), cell in annotation.cells.items():
+            distribution = marginals.get(f"e:{row},{column}")
+            if distribution is None:
+                continue
+            total += 1
+            agree += max(distribution, key=distribution.get) == cell.entity_id
+        assert total > 0
+        assert agree / total > 0.9

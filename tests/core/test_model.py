@@ -1,0 +1,71 @@
+"""Tests for the AnnotationModel weight container."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import TypeEntityFeatureMode
+from repro.core.model import AnnotationModel, default_model
+
+
+class TestShape:
+    def test_default_zeros(self):
+        model = AnnotationModel()
+        assert model.as_flat().shape == (AnnotationModel.flat_size(),)
+        assert np.all(model.as_flat() == 0.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationModel(w1=np.zeros(3))
+
+    def test_mode_string_coerced(self):
+        model = AnnotationModel(mode="idf")
+        assert model.mode is TypeEntityFeatureMode.IDF
+
+
+class TestFlatRoundTrip:
+    def test_round_trip(self):
+        model = default_model()
+        flat = model.as_flat()
+        rebuilt = AnnotationModel.from_flat(flat, mode=model.mode)
+        assert np.allclose(rebuilt.as_flat(), flat)
+        assert np.allclose(rebuilt.w5, model.w5)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotationModel.from_flat(np.zeros(3))
+
+
+class TestPersistence:
+    def test_dict_round_trip(self):
+        model = default_model(TypeEntityFeatureMode.INV_DIST)
+        rebuilt = AnnotationModel.from_dict(model.to_dict())
+        assert np.allclose(rebuilt.as_flat(), model.as_flat())
+        assert rebuilt.mode is TypeEntityFeatureMode.INV_DIST
+
+    def test_file_round_trip(self, tmp_path):
+        model = default_model()
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = AnnotationModel.load(path)
+        assert np.allclose(loaded.as_flat(), model.as_flat())
+
+    def test_unsupported_version(self):
+        payload = default_model().to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            AnnotationModel.from_dict(payload)
+
+
+class TestCopyAndDefaults:
+    def test_copy_is_independent(self):
+        model = default_model()
+        clone = model.copy()
+        clone.w1[0] = 99.0
+        assert model.w1[0] != 99.0
+
+    def test_default_priors_sensible(self):
+        model = default_model()
+        # similarity features positive, na-bias negative
+        assert model.w1[0] > 0
+        assert model.w1[-1] < 0
+        assert model.w5[1] < 0  # functional violation penalised

@@ -1,0 +1,54 @@
+"""Tests comparing the paper's Figure-11 schedule with generic flooding."""
+
+import pytest
+
+from repro.core.annotator import AnnotatorConfig, TableAnnotator
+from repro.core.inference import InferenceConfig, annotate_collective
+from repro.core.model import default_model
+
+
+class TestScheduleOptions:
+    def test_unknown_schedule_rejected(self, annotator, wiki_tables):
+        problem = annotator.build_problem(wiki_tables[0].table)
+        with pytest.raises(ValueError):
+            annotate_collective(
+                problem, default_model(), InferenceConfig(schedule="sideways")
+            )
+
+    def test_flooding_matches_paper_schedule_labels(self, world, wiki_tables):
+        paper = TableAnnotator(
+            world.annotator_view, config=AnnotatorConfig(schedule="paper")
+        )
+        flooding = TableAnnotator(
+            world.annotator_view,
+            config=AnnotatorConfig(schedule="flooding", max_iterations=30),
+        )
+        agree = total = 0
+        for labeled in wiki_tables[:4]:
+            annotation_a = paper.annotate(labeled.table)
+            annotation_b = flooding.annotate(labeled.table)
+            for key, cell in annotation_a.cells.items():
+                total += 1
+                agree += annotation_b.cells[key].entity_id == cell.entity_id
+        assert total > 0
+        assert agree / total > 0.95
+
+    def test_flooding_diagnostics(self, world, wiki_tables):
+        annotator = TableAnnotator(
+            world.annotator_view, config=AnnotatorConfig(schedule="flooding")
+        )
+        annotation = annotator.annotate(wiki_tables[0].table)
+        assert annotation.diagnostics["method"] == "collective"
+        assert annotation.diagnostics["iterations"] >= 1
+
+    def test_damping_does_not_change_easy_map(self, world, wiki_tables):
+        plain = TableAnnotator(world.annotator_view)
+        damped = TableAnnotator(
+            world.annotator_view, config=AnnotatorConfig(damping=0.3, max_iterations=25)
+        )
+        labeled = wiki_tables[1]
+        annotation_a = plain.annotate(labeled.table)
+        annotation_b = damped.annotate(labeled.table)
+        types_a = {c: a.type_id for c, a in annotation_a.columns.items()}
+        types_b = {c: a.type_id for c, a in annotation_b.columns.items()}
+        assert types_a == types_b

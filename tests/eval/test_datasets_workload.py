@@ -1,0 +1,116 @@
+"""Tests for dataset analogues and the search workload."""
+
+from repro.eval.datasets import (
+    DatasetSizes,
+    build_standard_datasets,
+    missing_link_fixture,
+)
+from repro.eval.workload import (
+    build_search_corpus,
+    build_search_workload,
+    relevance_keys,
+)
+
+
+class TestDatasets:
+    def test_four_datasets_with_right_shapes(self, datasets):
+        assert set(datasets) == {
+            "wiki_manual",
+            "web_manual",
+            "web_relations",
+            "wiki_link",
+        }
+        assert len(datasets["wiki_manual"].tables) == 8
+        assert len(datasets["wiki_link"].tables) == 10
+
+    def test_wiki_manual_has_full_truth(self, datasets):
+        labeled = datasets["wiki_manual"].tables[0]
+        assert labeled.truth.cell_entities
+        assert labeled.truth.column_types
+        assert labeled.truth.relations
+
+    def test_web_relations_stripped(self, datasets):
+        for labeled in datasets["web_relations"].tables:
+            assert labeled.truth.relations
+            assert not labeled.truth.cell_entities
+            assert not labeled.truth.column_types
+
+    def test_wiki_link_stripped(self, datasets):
+        for labeled in datasets["wiki_link"].tables:
+            assert labeled.truth.cell_entities
+            assert not labeled.truth.column_types
+
+    def test_summary_shape(self, datasets):
+        summary = datasets["wiki_manual"].summary()
+        assert summary["tables"] == 8
+        assert summary["avg_rows"] > 0
+        assert summary["entity_annotations"] > 0
+
+    def test_determinism(self, world):
+        sizes = DatasetSizes(wiki_manual=3, web_manual=3, web_relations=2, wiki_link=3)
+        a = build_standard_datasets(world, sizes)
+        b = build_standard_datasets(world, sizes)
+        assert [t.table.to_dict() for t in a["web_manual"].tables] == [
+            t.table.to_dict() for t in b["web_manual"].tables
+        ]
+
+    def test_unique_ids_across_datasets(self, datasets):
+        ids = [
+            labeled.table_id
+            for dataset in datasets.values()
+            for labeled in dataset.tables
+        ]
+        assert len(ids) == len(set(ids))
+
+
+class TestMissingLinkFixture:
+    def test_fixture_shapes(self):
+        full, broken, fixture = missing_link_fixture()
+        assert full.is_instance(fixture.broken_entity, fixture.expected_type)
+        assert not broken.is_instance(fixture.broken_entity, fixture.expected_type)
+        assert len(fixture.column_cells) == 4
+
+
+class TestWorkload:
+    def test_queries_cover_all_relations(self, world):
+        workload = build_search_workload(world, queries_per_relation=5, seed=1)
+        relations = {query.relation_id for query in workload.queries}
+        assert relations == set(world.query_relations)
+
+    def test_relevant_sets_nonempty(self, world):
+        workload = build_search_workload(world, queries_per_relation=5, seed=1)
+        for query in workload.queries:
+            assert workload.relevant[query]
+            # relevance truth comes from the full catalog
+            for subject in workload.relevant[query]:
+                assert world.full.relations.has_tuple(
+                    query.relation_id, subject, query.given_entity
+                )
+
+    def test_determinism(self, world):
+        a = build_search_workload(world, queries_per_relation=4, seed=9)
+        b = build_search_workload(world, queries_per_relation=4, seed=9)
+        assert [q.given_entity for q in a.queries] == [q.given_entity for q in b.queries]
+
+    def test_relevance_keys_include_lemmas(self, world):
+        workload = build_search_workload(world, queries_per_relation=2, seed=2)
+        query = workload.queries[0]
+        keys = relevance_keys(world, workload.relevant[query])
+        some_entity = next(iter(workload.relevant[query]))
+        assert some_entity in keys
+        lemma = world.full.entities.get(some_entity).primary_lemma.lower()
+        assert lemma in keys
+
+
+class TestSearchCorpus:
+    def test_mixed_corpus(self, world):
+        corpus = build_search_corpus(world, n_tables=10, seed=3)
+        assert len(corpus) == 10
+        prefixes = {labeled.table_id.split(":")[0] for labeled in corpus}
+        assert prefixes == {"searchcorpus-wiki", "searchcorpus-web"}
+
+    def test_single_noise_corpus(self, world):
+        from repro.tables.generator import NoiseProfile
+
+        corpus = build_search_corpus(world, n_tables=6, seed=3, noise=NoiseProfile.WIKI)
+        assert len(corpus) == 6

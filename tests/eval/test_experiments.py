@@ -1,0 +1,141 @@
+"""Tests for the experiment runners (small-scale shape checks)."""
+
+import pytest
+
+from repro.core.features import TypeEntityFeatureMode
+from repro.core.learning import TrainingConfig
+from repro.core.model import default_model
+from repro.eval.experiments import (
+    build_annotated_index,
+    candidate_statistics,
+    evaluate_annotation,
+    feature_ablation,
+    search_map_experiment,
+    threshold_sweep,
+    timing_experiment,
+    train_model,
+)
+from repro.eval.reporting import format_table, percent
+from repro.eval.workload import build_search_corpus, build_search_workload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return default_model()
+
+
+class TestFigure6Runner:
+    def test_all_algorithms_scored(self, world, datasets, model):
+        scores = evaluate_annotation(world, datasets["wiki_manual"], model)
+        assert set(scores) == {"lca", "majority", "collective"}
+        for algorithm_scores in scores.values():
+            assert algorithm_scores.entity.total > 0
+            assert algorithm_scores.type_.f1_count > 0
+
+    def test_wiki_link_only_entities(self, world, datasets, model):
+        scores = evaluate_annotation(
+            world, datasets["wiki_link"], model, algorithms=("collective",)
+        )
+        collective = scores["collective"]
+        assert collective.entity.total > 0
+        assert collective.type_.f1_count == 0
+        assert collective.relation.f1_count == 0
+
+    def test_web_relations_only_relations(self, world, datasets, model):
+        scores = evaluate_annotation(world, datasets["web_relations"], model)
+        assert scores["collective"].relation.f1_count > 0
+        assert scores["collective"].entity.total == 0
+        # baselines get voting-based relation numbers too
+        assert scores["majority"].relation.f1_count > 0
+
+
+class TestThresholdSweep:
+    def test_sweep_monotone_count(self, world, datasets, model):
+        results = threshold_sweep(
+            world,
+            datasets["wiki_manual"],
+            model,
+            thresholds=(50.0, 75.0, 100.0),
+        )
+        assert set(results) == {50.0, 75.0, 100.0}
+        for value in results.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestTimingRunner:
+    def test_breakdown(self, world, datasets, model):
+        report = timing_experiment(world, datasets["wiki_manual"].tables[:4], model)
+        assert report.n_tables == 4
+        assert report.mean_seconds > 0
+        assert 0.0 < report.candidate_fraction < 1.0
+        assert report.candidate_fraction + report.inference_fraction == pytest.approx(
+            1.0
+        )
+        # the paper: candidate generation dominates, inference is small
+        assert report.candidate_fraction > report.inference_fraction
+
+
+class TestFeatureAblation:
+    def test_modes_evaluated(self, world, datasets):
+        results = feature_ablation(
+            world,
+            datasets["wiki_manual"].tables[:4],
+            {"wiki_manual": datasets["wiki_manual"]},
+            modes=(TypeEntityFeatureMode.INV_SQRT_DIST, TypeEntityFeatureMode.IDF),
+            training=TrainingConfig(epochs=1),
+        )
+        assert set(results) == {"inv_sqrt_dist", "idf"}
+        for per_dataset in results.values():
+            assert "wiki_manual" in per_dataset
+            assert 0.0 <= per_dataset["wiki_manual"]["entity_accuracy"] <= 1.0
+
+
+class TestSearchRunner:
+    def test_map_shape(self, world, model):
+        corpus = build_search_corpus(world, n_tables=24, seed=77)
+        index = build_annotated_index(world, corpus, model)
+        workload = build_search_workload(world, queries_per_relation=3, seed=5)
+        results = search_map_experiment(world, index, workload)
+        assert "__all__" in results
+        for row in results.values():
+            assert set(row) == {"baseline", "type", "type_rel"}
+            for value in row.values():
+                assert 0.0 <= value <= 1.0
+        # the paper's headline: annotations help
+        overall = results["__all__"]
+        assert overall["type_rel"] >= overall["baseline"]
+
+
+class TestCandidateStats:
+    def test_stats_shape(self, world, datasets):
+        stats = candidate_statistics(world, datasets["wiki_manual"].tables[:4])
+        assert stats["n_tables"] == 4
+        assert stats["avg_entity_candidates"] > 1
+        assert stats["avg_type_candidates"] > 1
+
+
+class TestTraining:
+    def test_train_model_runs(self, world, datasets):
+        model = train_model(
+            world,
+            datasets["wiki_manual"].tables[:4],
+            training=TrainingConfig(epochs=1),
+        )
+        assert model.as_flat().shape[0] == model.flat_size()
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            ["Dataset", "LCA", "Collective"],
+            [["wiki", 8.63, 56.12], ["web", 15.16, 43.23]],
+            title="Type accuracy",
+        )
+        assert "Type accuracy" in text
+        assert "wiki" in text
+        assert "56.12" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+
+    def test_percent(self):
+        assert percent(0.5) == 50.0

@@ -1,0 +1,75 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.eval.figures import bar, grouped_bar_chart
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(1.0, 1.0, width=10) == "#" * 10
+        assert bar(0.0, 1.0, width=10) == " " * 10
+
+    def test_half(self):
+        assert bar(0.5, 1.0, width=10) == "#" * 5 + " " * 5
+
+    def test_clamps_above_maximum(self):
+        assert bar(5.0, 1.0, width=10) == "#" * 10
+
+    def test_negative_clamps_to_zero(self):
+        assert bar(-1.0, 1.0, width=10) == " " * 10
+
+    def test_zero_maximum(self):
+        assert bar(0.5, 0.0, width=10) == " " * 10
+
+    def test_constant_width(self):
+        for value in (0.0, 0.3, 0.77, 1.0):
+            assert len(bar(value, 1.0, width=16)) == 16
+
+
+class TestGroupedBarChart:
+    @pytest.fixture()
+    def data(self):
+        return {
+            "actedIn": {"baseline": 0.04, "type": 0.22, "type_rel": 0.22},
+            "directed": {"baseline": 0.09, "type": 0.43, "type_rel": 0.43},
+        }
+
+    def test_structure(self, data):
+        chart = grouped_bar_chart(data, ("baseline", "type", "type_rel"))
+        lines = chart.splitlines()
+        # 2 groups x 3 bars + 1 blank between groups
+        assert len(lines) == 7
+        assert lines[0].startswith("actedIn")
+        assert lines[1].startswith(" ")  # continuation rows unlabelled
+        assert "|" in lines[0]
+
+    def test_title(self, data):
+        chart = grouped_bar_chart(data, ("baseline",), title="Figure 9")
+        assert chart.splitlines()[0] == "Figure 9"
+
+    def test_values_printed(self, data):
+        chart = grouped_bar_chart(data, ("baseline", "type", "type_rel"))
+        assert "0.43" in chart
+        assert "0.04" in chart
+
+    def test_longer_bars_for_larger_values(self, data):
+        chart = grouped_bar_chart(data, ("baseline", "type"))
+        lines = [line for line in chart.splitlines() if "|" in line]
+        baseline_bar = lines[0].split("|")[1]
+        type_bar = lines[1].split("|")[1]
+        assert type_bar.count("#") > baseline_bar.count("#")
+
+    def test_missing_series_rendered_as_zero(self):
+        chart = grouped_bar_chart({"g": {"a": 1.0}}, ("a", "b"))
+        lines = chart.splitlines()
+        assert lines[1].split("|")[1].count("#") == 0
+
+    def test_empty_groups(self):
+        assert grouped_bar_chart({}, ("a",)) == ""
+
+    def test_explicit_maximum(self):
+        chart = grouped_bar_chart(
+            {"g": {"a": 0.5}}, ("a",), maximum=1.0, width=10
+        )
+        assert "#####     " in chart

@@ -1,0 +1,162 @@
+"""Tests (incl. hypothesis properties) for evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotation import (
+    CellAnnotation,
+    ColumnAnnotation,
+    RelationAnnotation,
+    TableAnnotation,
+)
+from repro.eval.metrics import (
+    MetricCounts,
+    annotation_type_sets,
+    average_precision,
+    entity_accuracy,
+    mean_average_precision,
+    relation_f1,
+    set_f1,
+    type_f1,
+)
+from repro.tables.model import TableTruth
+
+
+def make_annotation(cells=None, columns=None, relations=None) -> TableAnnotation:
+    annotation = TableAnnotation(table_id="t")
+    for (row, column), entity in (cells or {}).items():
+        annotation.cells[(row, column)] = CellAnnotation(row, column, entity)
+    for column, type_id in (columns or {}).items():
+        annotation.columns[column] = ColumnAnnotation(column, type_id)
+    for (left, right), label in (relations or {}).items():
+        annotation.relations[(left, right)] = RelationAnnotation(left, right, label)
+    return annotation
+
+
+class TestEntityAccuracy:
+    def test_correct_and_wrong(self):
+        truth = TableTruth(cell_entities={(0, 0): "e1", (0, 1): "e2", (1, 0): None})
+        annotation = make_annotation(cells={(0, 0): "e1", (0, 1): "wrong", (1, 0): None})
+        counts = entity_accuracy(truth, annotation)
+        assert counts.total == 3
+        assert counts.correct == 2
+
+    def test_na_mistakes_counted(self):
+        """'including choosing na when ground truth was not na'"""
+        truth = TableTruth(cell_entities={(0, 0): "e1"})
+        annotation = make_annotation(cells={(0, 0): None})
+        assert entity_accuracy(truth, annotation).correct == 0
+
+    def test_missing_prediction_is_na(self):
+        truth = TableTruth(cell_entities={(0, 0): "e1", (0, 1): None})
+        annotation = make_annotation()
+        counts = entity_accuracy(truth, annotation)
+        assert counts.total == 2
+        assert counts.correct == 1  # the na slot
+
+    def test_slots_without_truth_skipped(self):
+        truth = TableTruth(cell_entities={(0, 0): "e1"})
+        annotation = make_annotation(cells={(0, 0): "e1", (5, 5): "extra"})
+        assert entity_accuracy(truth, annotation).total == 1
+
+
+class TestSetF1:
+    def test_perfect(self):
+        assert set_f1({"a"}, {"a"}) == 1.0
+        assert set_f1(set(), set()) == 1.0
+
+    def test_disjoint(self):
+        assert set_f1({"a"}, {"b"}) == 0.0
+        assert set_f1(set(), {"b"}) == 0.0
+        assert set_f1({"a"}, set()) == 0.0
+
+    def test_partial(self):
+        # predicted 2, truth 1, overlap 1: P=0.5 R=1 F1=2/3
+        assert set_f1({"a", "b"}, {"a"}) == pytest.approx(2 / 3)
+
+    @given(
+        st.sets(st.sampled_from("abcdef"), max_size=4),
+        st.sets(st.sampled_from("abcdef"), max_size=4),
+    )
+    @settings(max_examples=60)
+    def test_range_and_symmetry(self, predicted, truth):
+        value = set_f1(predicted, truth)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(set_f1(truth, predicted))
+
+
+class TestTypeAndRelationF1:
+    def test_type_f1_macro_average(self):
+        truth = TableTruth(column_types={0: "t1", 1: None})
+        predicted = {0: {"t1", "t2"}, 1: set()}
+        counts = type_f1(truth, predicted)
+        assert counts.f1_count == 2
+        assert counts.mean_f1 == pytest.approx((2 / 3 + 1.0) / 2)
+
+    def test_annotation_type_sets(self):
+        annotation = make_annotation(columns={0: "t1", 1: None})
+        assert annotation_type_sets(annotation) == {0: {"t1"}, 1: set()}
+
+    def test_relation_f1(self):
+        truth = TableTruth(relations={(0, 1): "r1", (0, 2): None})
+        annotation = make_annotation(relations={(0, 1): "r1", (0, 2): "wrong"})
+        counts = relation_f1(truth, annotation)
+        assert counts.mean_f1 == pytest.approx(0.5)
+        assert counts.correct == 1
+
+    def test_reversed_label_must_match_exactly(self):
+        truth = TableTruth(relations={(0, 1): "r1^-1"})
+        annotation = make_annotation(relations={(0, 1): "r1"})
+        assert relation_f1(truth, annotation).mean_f1 == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_relevant_at_bottom(self):
+        # relevant at rank 2 of 2: AP = (1/2)/1
+        assert average_precision(["x", "a"], {"a"}) == pytest.approx(0.5)
+
+    def test_missing_relevant_lowers_ap(self):
+        assert average_precision(["a"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_duplicates_ignored(self):
+        assert average_precision(["a", "a", "b"], {"a", "b"}) == 1.0
+
+    def test_empty_cases(self):
+        assert average_precision([], {"a"}) == 0.0
+        assert average_precision(["a"], set()) == 0.0
+
+    def test_map_averages(self):
+        pairs = [(["a"], {"a"}), (["x"], {"a"})]
+        assert mean_average_precision(pairs) == pytest.approx(0.5)
+        assert mean_average_precision([]) == 0.0
+
+    @given(
+        st.lists(st.sampled_from("abcdefgh"), max_size=8, unique=True),
+        st.sets(st.sampled_from("abcdefgh"), min_size=1, max_size=4),
+    )
+    @settings(max_examples=60)
+    def test_ap_in_range(self, ranked, relevant):
+        assert 0.0 <= average_precision(ranked, relevant) <= 1.0
+
+    @given(st.sets(st.sampled_from("abcdefgh"), min_size=1, max_size=6))
+    @settings(max_examples=30)
+    def test_ideal_ranking_is_one(self, relevant):
+        assert average_precision(sorted(relevant), relevant) == pytest.approx(1.0)
+
+
+class TestMetricCounts:
+    def test_merge(self):
+        a = MetricCounts(correct=1, total=2, f1_sum=0.5, f1_count=1)
+        b = MetricCounts(correct=1, total=1, f1_sum=1.0, f1_count=1)
+        a.merge(b)
+        assert a.accuracy == pytest.approx(2 / 3)
+        assert a.mean_f1 == pytest.approx(0.75)
+
+    def test_empty(self):
+        counts = MetricCounts()
+        assert counts.accuracy == 0.0
+        assert counts.mean_f1 == 0.0

@@ -1,0 +1,51 @@
+"""Tests for the report formatting helpers."""
+
+from repro.eval.reporting import format_cell, format_table, percent
+
+
+class TestFormatCell:
+    def test_float_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_none(self):
+        assert format_cell(None) == "None"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Long header"], [["xxxxxx", 1.0]])
+        lines = text.splitlines()
+        # header, separator, one row
+        assert len(lines) == 3
+        # all lines equal width segments: separator matches header width
+        assert len(lines[1]) >= len("Long header")
+
+    def test_title_optional(self):
+        with_title = format_table(["A"], [["x"]], title="T")
+        without_title = format_table(["A"], [["x"]])
+        assert with_title.startswith("T\n")
+        assert not without_title.startswith("T\n")
+
+    def test_empty_rows(self):
+        text = format_table(["A", "B"], [])
+        assert "A" in text and "B" in text
+
+    def test_wide_cell_stretches_column(self):
+        text = format_table(["A"], [["a much longer cell value"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) >= len("a much longer cell value")
+
+
+class TestPercent:
+    def test_percent(self):
+        import pytest
+
+        assert percent(0.4323) == pytest.approx(43.23)
+        assert percent(0.0) == 0.0
+        assert percent(1.0) == 100.0

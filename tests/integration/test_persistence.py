@@ -1,0 +1,55 @@
+"""Integration: everything that touches disk round-trips through a workflow."""
+
+from repro.catalog.io import load_catalog_json, save_catalog_json
+from repro.core.annotator import TableAnnotator
+from repro.core.model import AnnotationModel, default_model
+from repro.tables.corpus import TableCorpus, load_corpus_jsonl, save_corpus_jsonl
+
+
+class TestPersistenceWorkflow:
+    def test_catalog_model_corpus_round_trip(self, world, wiki_tables, tmp_path):
+        """Save world + model + corpus; reload; annotations must agree."""
+        catalog_path = tmp_path / "catalog.json"
+        model_path = tmp_path / "model.json"
+        corpus_path = tmp_path / "corpus.jsonl"
+
+        save_catalog_json(world.annotator_view, catalog_path)
+        model = default_model()
+        model.save(model_path)
+        save_corpus_jsonl(TableCorpus(wiki_tables[:3]), corpus_path)
+
+        catalog = load_catalog_json(catalog_path)
+        loaded_model = AnnotationModel.load(model_path)
+        corpus = load_corpus_jsonl(corpus_path)
+
+        original = TableAnnotator(world.annotator_view, model=default_model())
+        reloaded = TableAnnotator(catalog, model=loaded_model)
+        for labeled in corpus:
+            annotation_a = original.annotate(labeled.table)
+            annotation_b = reloaded.annotate(labeled.table)
+            assert {
+                key: cell.entity_id for key, cell in annotation_a.cells.items()
+            } == {key: cell.entity_id for key, cell in annotation_b.cells.items()}
+            assert {
+                column: ann.type_id for column, ann in annotation_a.columns.items()
+            } == {column: ann.type_id for column, ann in annotation_b.columns.items()}
+
+    def test_trained_model_round_trip_preserves_predictions(
+        self, world, wiki_tables, tmp_path
+    ):
+        from repro.core.learning import StructuredTrainer, TrainingConfig
+
+        annotator = TableAnnotator(world.annotator_view, model=default_model())
+        trained = StructuredTrainer(
+            annotator, TrainingConfig(epochs=1, seed=2)
+        ).train(wiki_tables[:3])
+        path = tmp_path / "trained.json"
+        trained.save(path)
+        reloaded = AnnotationModel.load(path)
+        fresh = TableAnnotator(world.annotator_view, model=reloaded)
+        table = wiki_tables[4].table
+        a = annotator.annotate(table)
+        b = fresh.annotate(table)
+        assert {c: ann.type_id for c, ann in a.columns.items()} == {
+            c: ann.type_id for c, ann in b.columns.items()
+        }

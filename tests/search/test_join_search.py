@@ -1,0 +1,163 @@
+"""Tests for two-hop join queries (the paper's §2.1 future-work form)."""
+
+import pytest
+
+from repro.catalog.builder import CatalogBuilder
+from repro.core.annotation import (
+    CellAnnotation,
+    ColumnAnnotation,
+    RelationAnnotation,
+    TableAnnotation,
+)
+from repro.search.join_search import JoinQuery, JoinSearcher
+from repro.search.table_index import AnnotatedTableIndex
+from repro.tables.model import Table
+
+
+@pytest.fixture()
+def football_catalog():
+    """Footballers act in movies; footballers play for clubs.
+
+    Join: movies (e1) acted_in by footballers (e2) who play_for club E3.
+    """
+    return (
+        CatalogBuilder(name="football")
+        .type("type:person", "person")
+        .type("type:footballer", "footballer", parents=["type:person"])
+        .type("type:movie", "movie", "film")
+        .type("type:club", "club")
+        .entity("ent:kai", ["Kai Stone"], types=["type:footballer"])
+        .entity("ent:leo", ["Leo Park"], types=["type:footballer"])
+        .entity("ent:movie_a", ["The Iron Tide"], types=["type:movie"])
+        .entity("ent:movie_b", ["Golden Harbor"], types=["type:movie"])
+        .entity("ent:united", ["Northgate United"], types=["type:club"])
+        .entity("ent:rovers", ["Duskvale Rovers"], types=["type:club"])
+        .relation("rel:acted_in", "type:movie", "type:person")
+        .relation("rel:plays_for", "type:footballer", "type:club")
+        .fact("rel:acted_in", "ent:movie_a", "ent:kai")
+        .fact("rel:acted_in", "ent:movie_b", "ent:leo")
+        .fact("rel:plays_for", "ent:kai", "ent:united")
+        .fact("rel:plays_for", "ent:leo", "ent:rovers")
+        .build()
+    )
+
+
+@pytest.fixture()
+def football_index(football_catalog) -> AnnotatedTableIndex:
+    index = AnnotatedTableIndex(catalog=football_catalog)
+
+    cast_table = Table(
+        table_id="cast",
+        cells=[["The Iron Tide", "Kai Stone"], ["Golden Harbor", "Leo Park"]],
+        headers=["Film", "Actor"],
+    )
+    cast_annotation = TableAnnotation(table_id="cast")
+    cast_annotation.columns[0] = ColumnAnnotation(0, "type:movie")
+    cast_annotation.columns[1] = ColumnAnnotation(1, "type:footballer")
+    cast_annotation.cells[(0, 0)] = CellAnnotation(0, 0, "ent:movie_a")
+    cast_annotation.cells[(0, 1)] = CellAnnotation(0, 1, "ent:kai")
+    cast_annotation.cells[(1, 0)] = CellAnnotation(1, 0, "ent:movie_b")
+    cast_annotation.cells[(1, 1)] = CellAnnotation(1, 1, "ent:leo")
+    cast_annotation.relations[(0, 1)] = RelationAnnotation(0, 1, "rel:acted_in")
+    index.add_table(cast_table, cast_annotation)
+
+    club_table = Table(
+        table_id="clubs",
+        cells=[["Kai Stone", "Northgate United"], ["Leo Park", "Duskvale Rovers"]],
+        headers=["Player", "Club"],
+    )
+    club_annotation = TableAnnotation(table_id="clubs")
+    club_annotation.columns[0] = ColumnAnnotation(0, "type:footballer")
+    club_annotation.columns[1] = ColumnAnnotation(1, "type:club")
+    club_annotation.cells[(0, 0)] = CellAnnotation(0, 0, "ent:kai")
+    club_annotation.cells[(0, 1)] = CellAnnotation(0, 1, "ent:united")
+    club_annotation.cells[(1, 0)] = CellAnnotation(1, 0, "ent:leo")
+    club_annotation.cells[(1, 1)] = CellAnnotation(1, 1, "ent:rovers")
+    club_annotation.relations[(0, 1)] = RelationAnnotation(0, 1, "rel:plays_for")
+    index.add_table(club_table, club_annotation)
+    index.freeze()
+    return index
+
+
+class TestJoinQuery:
+    def test_valid_join(self, football_catalog):
+        query = JoinQuery.from_catalog(
+            football_catalog, "rel:acted_in", "rel:plays_for", "ent:united"
+        )
+        assert query.first_relation == "rel:acted_in"
+
+    def test_incompatible_types_rejected(self, football_catalog):
+        with pytest.raises(ValueError):
+            JoinQuery.from_catalog(
+                football_catalog, "rel:plays_for", "rel:acted_in", "ent:kai"
+            )
+
+    def test_unknown_entity_rejected(self, football_catalog):
+        from repro.catalog.errors import UnknownIdError
+
+        with pytest.raises(UnknownIdError):
+            JoinQuery.from_catalog(
+                football_catalog, "rel:acted_in", "rel:plays_for", "ent:nobody"
+            )
+
+
+class TestJoinSearch:
+    def test_two_hop_answer(self, football_catalog, football_index):
+        """Movies acted in by players of Northgate United -> The Iron Tide."""
+        query = JoinQuery.from_catalog(
+            football_catalog, "rel:acted_in", "rel:plays_for", "ent:united"
+        )
+        searcher = JoinSearcher(football_index, football_catalog)
+        response = searcher.search(query)
+        assert [answer.entity_id for answer in response.answers] == ["ent:movie_a"]
+        assert response.answers[0].supporting_tables == ("cast",)
+
+    def test_other_club_other_movie(self, football_catalog, football_index):
+        query = JoinQuery.from_catalog(
+            football_catalog, "rel:acted_in", "rel:plays_for", "ent:rovers"
+        )
+        searcher = JoinSearcher(football_index, football_catalog)
+        response = searcher.search(query)
+        assert [answer.entity_id for answer in response.answers] == ["ent:movie_b"]
+
+    def test_no_middle_entities_no_answers(self, football_catalog):
+        empty_index = AnnotatedTableIndex(catalog=football_catalog)
+        empty_index.freeze()
+        query = JoinQuery.from_catalog(
+            football_catalog, "rel:acted_in", "rel:plays_for", "ent:united"
+        )
+        response = JoinSearcher(empty_index, football_catalog).search(query)
+        assert response.answers == []
+
+    def test_on_generated_world(self, world, annotator):
+        """End-to-end join on the synthetic world: movies acted in by
+        actors born in a given city."""
+        from repro.tables.generator import TableGeneratorConfig, WebTableGenerator, NoiseProfile
+
+        tables = WebTableGenerator(
+            world.full,
+            TableGeneratorConfig(
+                seed=71,
+                n_tables=30,
+                noise=NoiseProfile.WIKI,
+                relations=("rel:acted_in", "rel:born_in"),
+                id_prefix="join",
+            ),
+        ).generate()
+        index = AnnotatedTableIndex(catalog=world.annotator_view)
+        for labeled in tables:
+            index.add_table(labeled.table, annotator.annotate(labeled.table))
+        index.freeze()
+        # pick a city that some actor with an acted_in tuple was born in
+        for movie, actor in sorted(world.full.relations.tuples("rel:acted_in")):
+            cities = world.full.relations.objects_of("rel:born_in", actor)
+            if cities:
+                city = sorted(cities)[0]
+                break
+        query = JoinQuery.from_catalog(
+            world.annotator_view, "rel:acted_in", "rel:born_in", city
+        )
+        response = JoinSearcher(index, world.annotator_view).search(query)
+        # all answers must be movies (type check through the full catalog)
+        for answer in response.answers:
+            assert world.full.is_instance(answer.entity_id, "type:movie")

@@ -1,0 +1,82 @@
+"""Tests for query construction and evidence ranking."""
+
+import pytest
+
+from repro.search.query import RelationQuery
+from repro.search.ranking import EvidenceAccumulator
+
+
+class TestRelationQuery:
+    def test_from_catalog(self, book_catalog):
+        query = RelationQuery.from_catalog(book_catalog, "rel:wrote", "ent:einstein")
+        assert query.answer_type == "type:book"
+        assert query.given_type == "type:author"
+        assert query.given_entity == "ent:einstein"
+        assert query.given_text == "Albert Einstein"
+
+    def test_as_strings(self, book_catalog):
+        query = RelationQuery.from_catalog(book_catalog, "rel:wrote", "ent:einstein")
+        relation_text, t1, t2, e2 = query.as_strings(book_catalog)
+        assert relation_text == "written by"
+        assert t1 == "book"
+        assert t2 == "author"
+        assert e2 == "Albert Einstein"
+
+
+class TestEvidenceAccumulator:
+    def test_entity_evidence_aggregates(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog)
+        acc.add_entity_evidence("ent:relativity", 1.0, "t1")
+        acc.add_entity_evidence("ent:relativity", 0.5, "t2")
+        acc.add_entity_evidence("ent:uncle_albert", 1.0, "t1")
+        response = acc.response()
+        assert response.answers[0].entity_id == "ent:relativity"
+        assert response.answers[0].score == pytest.approx(1.5)
+        assert response.answers[0].supporting_tables == ("t1", "t2")
+        assert response.rows_matched == 3
+
+    def test_string_evidence_clusters_by_normalised_text(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog, resolve_strings_to_entities=False)
+        acc.add_string_evidence("Some  Unknown Title", 1.0, "t1")
+        acc.add_string_evidence("some unknown title", 1.0, "t2")
+        response = acc.response()
+        assert len(response.answers) == 1
+        assert response.answers[0].score == pytest.approx(2.0)
+        assert response.answers[0].entity_id is None
+
+    def test_string_evidence_resolves_to_entity_when_unambiguous(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog)
+        acc.add_string_evidence("Russell Stannard", 1.0, "t1")
+        response = acc.response()
+        assert response.answers[0].entity_id == "ent:stannard"
+
+    def test_baseline_mode_keeps_strings(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog, resolve_strings_to_entities=False)
+        acc.add_string_evidence("Russell Stannard", 1.0, "t1")
+        response = acc.response()
+        assert response.answers[0].entity_id is None
+
+    def test_blank_string_ignored(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog)
+        acc.add_string_evidence("   ", 1.0, "t1")
+        assert acc.response().answers == []
+
+    def test_ranked_keys(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog, resolve_strings_to_entities=False)
+        acc.add_entity_evidence("ent:relativity", 2.0, "t1")
+        acc.add_string_evidence("Mystery Book", 1.0, "t1")
+        keys = acc.response().ranked_keys()
+        assert keys == ["ent:relativity", "mystery book"]
+
+    def test_top_k(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog)
+        for index in range(10):
+            acc.add_string_evidence(f"title {index}", 1.0, "t")
+        assert len(acc.response(top_k=3).answers) == 3
+
+    def test_deterministic_tie_order(self, book_catalog):
+        acc = EvidenceAccumulator(book_catalog, resolve_strings_to_entities=False)
+        acc.add_string_evidence("bbb", 1.0, "t")
+        acc.add_string_evidence("aaa", 1.0, "t")
+        answers = acc.response().answers
+        assert [a.text for a in answers] == ["aaa", "bbb"]

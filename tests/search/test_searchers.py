@@ -1,0 +1,158 @@
+"""Tests for the three query processors on a hand-built corpus."""
+
+import pytest
+
+from repro.core.annotation import (
+    CellAnnotation,
+    ColumnAnnotation,
+    RelationAnnotation,
+    TableAnnotation,
+)
+from repro.search.annotated_search import AnnotatedSearcher
+from repro.search.baseline_search import BaselineSearcher
+from repro.search.query import RelationQuery
+from repro.search.table_index import AnnotatedTableIndex
+from repro.tables.model import Table
+
+
+@pytest.fixture()
+def corpus_index(book_catalog) -> AnnotatedTableIndex:
+    """Two relevant tables (one clean, one noisy/unannotated) plus a decoy."""
+    index = AnnotatedTableIndex(catalog=book_catalog)
+
+    # Table 1: annotated, headers present.
+    t1 = Table(
+        table_id="t1",
+        cells=[
+            ["Relativity: The Special and the General Theory", "A. Einstein"],
+            ["Uncle Albert and the Quantum Quest", "Russell Stannard"],
+            ["The Time and Space of Uncle Albert", "R. Stannard"],
+        ],
+        headers=["Book", "Author"],
+        context="books written by famous authors",
+    )
+    a1 = TableAnnotation(table_id="t1")
+    a1.columns[0] = ColumnAnnotation(0, "type:book")
+    a1.columns[1] = ColumnAnnotation(1, "type:author")
+    a1.cells[(0, 0)] = CellAnnotation(0, 0, "ent:relativity")
+    a1.cells[(0, 1)] = CellAnnotation(0, 1, "ent:einstein")
+    a1.cells[(1, 0)] = CellAnnotation(1, 0, "ent:uncle_albert")
+    a1.cells[(1, 1)] = CellAnnotation(1, 1, "ent:stannard")
+    a1.cells[(2, 0)] = CellAnnotation(2, 0, "ent:time_space")
+    a1.cells[(2, 1)] = CellAnnotation(2, 1, "ent:stannard")
+    a1.relations[(0, 1)] = RelationAnnotation(0, 1, "rel:wrote")
+    index.add_table(t1, a1)
+
+    # Table 2: typed columns but the pair was (wrongly) left unrelated —
+    # exploitable by Type but not Type+Rel.
+    t2 = Table(
+        table_id="t2",
+        cells=[["Uncle Albert and the Quantum Quest", "Russell Stannard"]],
+        headers=["Title", "Writer"],
+        context="a reading list",
+    )
+    a2 = TableAnnotation(table_id="t2")
+    a2.columns[0] = ColumnAnnotation(0, "type:book")
+    a2.columns[1] = ColumnAnnotation(1, "type:author")
+    a2.cells[(0, 0)] = CellAnnotation(0, 0, "ent:uncle_albert")
+    a2.cells[(0, 1)] = CellAnnotation(0, 1, "ent:stannard")
+    index.add_table(t2, a2)
+
+    # Decoy: person column pairs a *physicist* with books he did not write
+    # (e.g. a "books about Einstein" table) — trips type-only search.
+    t3 = Table(
+        table_id="t3",
+        cells=[["The Time and Space of Uncle Albert", "A. Einstein"]],
+        headers=["Book", "Author"],
+        context="books and authors",
+    )
+    a3 = TableAnnotation(table_id="t3")
+    a3.columns[0] = ColumnAnnotation(0, "type:book")
+    a3.columns[1] = ColumnAnnotation(1, "type:author")
+    a3.cells[(0, 0)] = CellAnnotation(0, 0, "ent:time_space")
+    a3.cells[(0, 1)] = CellAnnotation(0, 1, "ent:einstein")
+    index.add_table(t3, a3)
+    index.freeze()
+    return index
+
+
+@pytest.fixture()
+def stannard_query(book_catalog) -> RelationQuery:
+    return RelationQuery.from_catalog(book_catalog, "rel:wrote", "ent:stannard")
+
+
+class TestBaselineSearcher:
+    def test_finds_answers_via_strings(self, corpus_index, book_catalog, stannard_query):
+        searcher = BaselineSearcher(corpus_index, book_catalog)
+        response = searcher.search(stannard_query)
+        texts = [answer.text.lower() for answer in response.answers]
+        assert any("uncle albert and the quantum quest" in text for text in texts)
+
+    def test_returns_strings_not_entities(
+        self, corpus_index, book_catalog, stannard_query
+    ):
+        searcher = BaselineSearcher(corpus_index, book_catalog)
+        response = searcher.search(stannard_query)
+        assert all(answer.entity_id is None for answer in response.answers)
+
+    def test_no_headers_no_answers(self, book_catalog, stannard_query):
+        index = AnnotatedTableIndex(catalog=book_catalog)
+        index.add_table(
+            Table(
+                table_id="bare",
+                cells=[["Uncle Albert and the Quantum Quest", "Russell Stannard"]],
+            )
+        )
+        index.freeze()
+        searcher = BaselineSearcher(index, book_catalog)
+        assert searcher.search(stannard_query).answers == []
+
+
+class TestTypeOnlySearcher:
+    def test_finds_entities(self, corpus_index, book_catalog, stannard_query):
+        searcher = AnnotatedSearcher(corpus_index, book_catalog, use_relations=False)
+        response = searcher.search(stannard_query)
+        ids = [answer.entity_id for answer in response.answers]
+        assert "ent:uncle_albert" in ids
+        assert "ent:time_space" in ids
+
+    def test_decoy_pollutes_type_only(self, corpus_index, book_catalog):
+        """Asking for Einstein's books, type-only search is fooled by the
+        'books about Einstein' decoy table."""
+        query = RelationQuery.from_catalog(book_catalog, "rel:wrote", "ent:einstein")
+        searcher = AnnotatedSearcher(corpus_index, book_catalog, use_relations=False)
+        ids = [a.entity_id for a in searcher.search(query).answers]
+        assert "ent:time_space" in ids  # wrong answer sneaks in
+
+
+class TestTypeRelSearcher:
+    def test_relation_filter_removes_decoy(self, corpus_index, book_catalog):
+        query = RelationQuery.from_catalog(book_catalog, "rel:wrote", "ent:einstein")
+        searcher = AnnotatedSearcher(corpus_index, book_catalog, use_relations=True)
+        ids = [a.entity_id for a in searcher.search(query).answers]
+        assert ids == ["ent:relativity"]
+
+    def test_finds_all_stannard_books(self, corpus_index, book_catalog, stannard_query):
+        searcher = AnnotatedSearcher(corpus_index, book_catalog, use_relations=True)
+        ids = {a.entity_id for a in searcher.search(stannard_query).answers}
+        assert ids == {"ent:uncle_albert", "ent:time_space"}
+
+    def test_text_anchor_fallback(self, book_catalog):
+        """E2 not annotated anywhere: anchoring falls back to text match."""
+        index = AnnotatedTableIndex(catalog=book_catalog)
+        table = Table(
+            table_id="t",
+            cells=[["Uncle Albert and the Quantum Quest", "Russell Stannard"]],
+        )
+        annotation = TableAnnotation(table_id="t")
+        annotation.columns[0] = ColumnAnnotation(0, "type:book")
+        annotation.columns[1] = ColumnAnnotation(1, "type:author")
+        annotation.cells[(0, 0)] = CellAnnotation(0, 0, "ent:uncle_albert")
+        # note: author cell deliberately unannotated
+        annotation.relations[(0, 1)] = RelationAnnotation(0, 1, "rel:wrote")
+        index.add_table(table, annotation)
+        index.freeze()
+        query = RelationQuery.from_catalog(book_catalog, "rel:wrote", "ent:stannard")
+        searcher = AnnotatedSearcher(index, book_catalog, use_relations=True)
+        ids = [a.entity_id for a in searcher.search(query).answers]
+        assert ids == ["ent:uncle_albert"]

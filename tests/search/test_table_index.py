@@ -1,0 +1,104 @@
+"""Tests for the annotated table index."""
+
+import pytest
+
+from repro.core.annotation import (
+    CellAnnotation,
+    ColumnAnnotation,
+    RelationAnnotation,
+    TableAnnotation,
+)
+from repro.search.table_index import AnnotatedTableIndex
+from repro.tables.model import Table
+
+
+@pytest.fixture()
+def index(book_catalog) -> AnnotatedTableIndex:
+    idx = AnnotatedTableIndex(catalog=book_catalog)
+    table = Table(
+        table_id="t1",
+        cells=[
+            ["Relativity: The Special and the General Theory", "A. Einstein"],
+            ["Uncle Albert and the Quantum Quest", "Russell Stannard"],
+        ],
+        headers=["Title", "Author"],
+        context="famous books written by scientists",
+    )
+    annotation = TableAnnotation(table_id="t1")
+    annotation.columns[0] = ColumnAnnotation(0, "type:science_books")
+    annotation.columns[1] = ColumnAnnotation(1, "type:author")
+    annotation.cells[(0, 0)] = CellAnnotation(0, 0, "ent:relativity")
+    annotation.cells[(0, 1)] = CellAnnotation(0, 1, "ent:einstein")
+    annotation.cells[(1, 0)] = CellAnnotation(1, 0, "ent:uncle_albert")
+    annotation.cells[(1, 1)] = CellAnnotation(1, 1, None)
+    annotation.relations[(0, 1)] = RelationAnnotation(0, 1, "rel:wrote")
+    idx.add_table(table, annotation)
+
+    headerless = Table(table_id="t2", cells=[["x", "y"], ["a", "b"]])
+    idx.add_table(headerless)
+    idx.freeze()
+    return idx
+
+
+class TestTextLookups:
+    def test_header_lookup(self, index):
+        hits = index.columns_with_header("Author")
+        assert ("t1", 1) in [(table, column) for table, column, _s in hits]
+
+    def test_context_lookup(self, index):
+        scores = index.tables_with_context("books written by")
+        assert "t1" in scores
+
+    def test_headerless_table_invisible_to_header_index(self, index):
+        hits = index.columns_with_header("x")
+        assert all(table != "t2" for table, _c, _s in hits)
+
+
+class TestSemanticLookups:
+    def test_columns_of_type_exact(self, index):
+        assert index.columns_of_type("type:science_books") == [("t1", 0)]
+
+    def test_columns_of_type_subtype_expansion(self, index):
+        # querying the supertype finds the subtype-annotated column
+        assert index.columns_of_type("type:book") == [("t1", 0)]
+
+    def test_cells_of_entity(self, index):
+        assert index.cells_of_entity("ent:einstein") == [("t1", 0, 1)]
+        assert index.cells_of_entity("ent:stannard") == []
+
+    def test_relation_edges_orientation(self, index):
+        edges = index.relation_edges("rel:wrote")
+        assert len(edges) == 1
+        assert edges[0].subject_column == 0
+        assert edges[0].object_column == 1
+
+    def test_reversed_relation_edge(self, book_catalog):
+        idx = AnnotatedTableIndex(catalog=book_catalog)
+        table = Table(table_id="r", cells=[["A. Einstein", "Relativity"]])
+        annotation = TableAnnotation(table_id="r")
+        annotation.relations[(0, 1)] = RelationAnnotation(0, 1, "rel:wrote^-1")
+        idx.add_table(table, annotation)
+        edges = idx.relation_edges("rel:wrote")
+        assert edges[0].subject_column == 1
+        assert edges[0].object_column == 0
+
+
+class TestLifecycle:
+    def test_duplicate_table_rejected(self, index, book_catalog):
+        with pytest.raises(ValueError):
+            index.add_table(Table(table_id="t1", cells=[["a", "b"]]))
+
+    def test_add_after_freeze_rejected(self, index):
+        with pytest.raises(RuntimeError):
+            index.add_table(Table(table_id="t9", cells=[["a", "b"]]))
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats["tables"] == 2
+        assert stats["annotated_tables"] == 1
+        assert stats["typed_columns"] == 2
+        assert stats["entity_cells"] == 3
+        assert stats["relation_edges"] == 1
+
+    def test_len(self, index):
+        assert len(index) == 2

@@ -1,0 +1,50 @@
+"""Tests for relational-vs-formatting screening."""
+
+from repro.tables.classify import TableClass, classify_table
+from repro.tables.generator import generate_formatting_table
+from repro.tables.model import Table
+
+
+def make(cells, headers=None):
+    return Table(table_id="t", cells=cells, headers=headers)
+
+
+class TestClassify:
+    def test_small_relational_table(self):
+        table = make(
+            [["Movie A", "1999"], ["Movie B", "2001"], ["Movie C", "1985"]],
+            headers=["Title", "Year"],
+        )
+        assert classify_table(table) is TableClass.RELATIONAL
+
+    def test_too_small(self):
+        assert classify_table(make([["a", "b"]])) is TableClass.TOO_SMALL
+        assert classify_table(make([["a"], ["b"], ["c"]])) is TableClass.TOO_SMALL
+
+    def test_mostly_empty_is_formatting(self):
+        table = make([["x", ""], ["", ""], ["", ""]])
+        assert classify_table(table) is TableClass.FORMATTING
+
+    def test_prose_cells_are_formatting(self):
+        prose = "word " * 40
+        table = make([[prose, prose], [prose, prose], [prose, prose]])
+        assert classify_table(table) is TableClass.FORMATTING
+
+    def test_generated_formatting_fixture(self):
+        table = generate_formatting_table(seed=3)
+        assert classify_table(table) is not TableClass.RELATIONAL
+
+    def test_generated_relational_tables_pass(self, wiki_tables):
+        relational = sum(
+            1
+            for labeled in wiki_tables
+            if classify_table(labeled.table) is TableClass.RELATIONAL
+        )
+        # nearly all generated tables must survive the screen
+        assert relational >= len(wiki_tables) - 1
+
+    def test_numeric_columns_are_consistent(self):
+        table = make(
+            [["1", "Alpha Beta"], ["2", "Gamma Delta"], ["3", "Epsilon"]],
+        )
+        assert classify_table(table) is TableClass.RELATIONAL

@@ -1,0 +1,92 @@
+"""Tests for table corpora and JSONL persistence."""
+
+import pytest
+
+from repro.tables.corpus import TableCorpus, load_corpus_jsonl, save_corpus_jsonl
+from repro.tables.model import LabeledTable, Table, TableTruth
+
+
+def make_table(table_id: str, rows: int = 2) -> Table:
+    return Table(
+        table_id=table_id,
+        cells=[[f"a{r}", f"b{r}"] for r in range(rows)],
+        headers=["A", "B"],
+    )
+
+
+class TestCorpus:
+    def test_add_and_lookup(self):
+        corpus = TableCorpus([make_table("t1"), make_table("t2")])
+        assert len(corpus) == 2
+        assert corpus.get("t1").table_id == "t1"
+        assert "t2" in corpus
+        assert corpus[1].table_id == "t2"
+
+    def test_duplicate_rejected(self):
+        corpus = TableCorpus([make_table("t1")])
+        with pytest.raises(ValueError):
+            corpus.add(make_table("t1"))
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            TableCorpus().get("nope")
+
+    def test_plain_tables_wrapped(self):
+        corpus = TableCorpus([make_table("t1")])
+        assert isinstance(corpus[0], LabeledTable)
+        assert corpus[0].truth == TableTruth()
+
+    def test_filter(self):
+        corpus = TableCorpus([make_table("t1", 2), make_table("t2", 5)])
+        big = corpus.filter(lambda labeled: labeled.table.n_rows > 3)
+        assert len(big) == 1
+        assert big[0].table_id == "t2"
+
+    def test_split(self):
+        corpus = TableCorpus([make_table(f"t{i}") for i in range(5)])
+        head, tail = corpus.split(2)
+        assert len(head) == 2
+        assert len(tail) == 3
+        assert head[0].table_id == "t0"
+        assert tail[0].table_id == "t2"
+
+    def test_summary_counts(self):
+        labeled = LabeledTable(
+            table=make_table("t1", rows=4),
+            truth=TableTruth(
+                cell_entities={(0, 0): "e", (1, 0): None},
+                column_types={0: "type:x"},
+                relations={(0, 1): "rel:r"},
+            ),
+        )
+        corpus = TableCorpus([labeled])
+        summary = corpus.summary()
+        assert summary["tables"] == 1
+        assert summary["avg_rows"] == 4
+        assert summary["entity_annotations"] == 2
+        assert summary["type_annotations"] == 1
+        assert summary["relation_annotations"] == 1
+
+    def test_empty_summary(self):
+        summary = TableCorpus().summary()
+        assert summary["tables"] == 0
+        assert summary["avg_rows"] == 0.0
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path, wiki_tables):
+        corpus = TableCorpus(wiki_tables)
+        path = tmp_path / "corpus.jsonl"
+        save_corpus_jsonl(corpus, path)
+        loaded = load_corpus_jsonl(path)
+        assert len(loaded) == len(corpus)
+        for original, rebuilt in zip(corpus, loaded):
+            assert rebuilt.table.to_dict() == original.table.to_dict()
+            assert rebuilt.truth.to_dict() == original.truth.to_dict()
+
+    def test_blank_lines_ignored(self, tmp_path):
+        corpus = TableCorpus([make_table("t1")])
+        path = tmp_path / "corpus.jsonl"
+        save_corpus_jsonl(corpus, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_corpus_jsonl(path)) == 1

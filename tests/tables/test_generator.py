@@ -1,0 +1,143 @@
+"""Tests for the Web-table generator's structure and ground truth."""
+
+import pytest
+
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+    base_relation,
+    reversed_label,
+)
+
+
+class TestLabelHelpers:
+    def test_reversed_label_round_trip(self):
+        assert reversed_label("rel:x") == "rel:x^-1"
+        assert reversed_label("rel:x^-1") == "rel:x"
+        assert base_relation("rel:x^-1") == ("rel:x", True)
+        assert base_relation("rel:x") == ("rel:x", False)
+
+
+class TestGeneration:
+    def test_determinism(self, world):
+        config = TableGeneratorConfig(seed=33, n_tables=4)
+        a = WebTableGenerator(world.full, config).generate()
+        b = WebTableGenerator(world.full, config).generate()
+        assert [x.table.to_dict() for x in a] == [y.table.to_dict() for y in b]
+        assert [x.truth.to_dict() for x in a] == [y.truth.to_dict() for y in b]
+
+    def test_table_count_and_ids(self, world):
+        tables = WebTableGenerator(
+            world.full, TableGeneratorConfig(seed=1, n_tables=5, id_prefix="z")
+        ).generate()
+        assert len(tables) == 5
+        assert tables[0].table_id == "z:00000"
+        assert len({t.table_id for t in tables}) == 5
+
+    def test_rows_within_range(self, world):
+        config = TableGeneratorConfig(seed=2, n_tables=8, rows_range=(4, 9))
+        for labeled in WebTableGenerator(world.full, config).generate():
+            assert labeled.table.n_rows <= 9
+            assert labeled.table.n_rows >= 1
+
+    def test_truth_covers_every_cell(self, wiki_tables):
+        for labeled in wiki_tables:
+            table = labeled.table
+            for row in range(table.n_rows):
+                for column in range(table.n_columns):
+                    assert (row, column) in labeled.truth.cell_entities
+
+    def test_truth_covers_every_column_and_pair(self, wiki_tables):
+        for labeled in wiki_tables:
+            n = labeled.table.n_columns
+            assert set(labeled.truth.column_types) == set(range(n))
+            expected_pairs = {(i, j) for i in range(n) for j in range(i + 1, n)}
+            assert set(labeled.truth.relations) == expected_pairs
+
+    def test_entity_truth_consistent_with_catalog(self, world, wiki_tables):
+        """Non-na truth entities must be instances of the column's true type
+        in the FULL catalog (the generator renders ground truth)."""
+        for labeled in wiki_tables:
+            for (row, column), entity_id in labeled.truth.cell_entities.items():
+                if entity_id is None:
+                    continue
+                column_type = labeled.truth.column_types[column]
+                assert column_type is not None
+                assert world.full.is_instance(entity_id, column_type)
+
+    def test_relation_truth_consistent_with_catalog(self, world, wiki_tables):
+        for labeled in wiki_tables:
+            for (left, right), label in labeled.truth.relations.items():
+                if label is None:
+                    continue
+                relation_id, reverse = base_relation(label)
+                subject_col, object_col = (right, left) if reverse else (left, right)
+                for row in range(labeled.table.n_rows):
+                    subject = labeled.truth.cell_entities.get((row, subject_col))
+                    object_ = labeled.truth.cell_entities.get((row, object_col))
+                    if subject is None or object_ is None:
+                        continue
+                    assert world.full.relations.has_tuple(
+                        relation_id, subject, object_
+                    )
+
+    def test_numeric_columns_marked_na(self, world):
+        config = TableGeneratorConfig(seed=9, n_tables=12, numeric_column_prob=1.0)
+        found_numeric = False
+        for labeled in WebTableGenerator(world.full, config).generate():
+            for column, type_id in labeled.truth.column_types.items():
+                if type_id is None:
+                    found_numeric = True
+                    for row in range(labeled.table.n_rows):
+                        assert labeled.truth.cell_entities[(row, column)] is None
+                        assert labeled.table.cell(row, column).isdigit()
+        assert found_numeric
+
+    def test_unknown_cells_have_na_truth(self, world):
+        config = TableGeneratorConfig(seed=4, n_tables=10, unknown_cell_prob=0.5)
+        na_cells = 0
+        for labeled in WebTableGenerator(world.full, config).generate():
+            na_cells += sum(
+                1 for entity in labeled.truth.cell_entities.values() if entity is None
+            )
+        assert na_cells > 0
+
+    def test_scoped_tables_use_category_truth(self, world):
+        config = TableGeneratorConfig(seed=6, n_tables=20, scoped_subject_prob=1.0)
+        scoped = 0
+        for labeled in WebTableGenerator(world.full, config).generate():
+            for type_id in labeled.truth.column_types.values():
+                if type_id is not None and type_id.startswith("type:cat:"):
+                    scoped += 1
+        assert scoped > 0
+
+    def test_swap_produces_reversed_labels(self, world):
+        config = TableGeneratorConfig(seed=8, n_tables=20, swap_columns_prob=1.0)
+        reversed_found = False
+        for labeled in WebTableGenerator(world.full, config).generate():
+            for label in labeled.truth.relations.values():
+                if label is not None and label.endswith("^-1"):
+                    reversed_found = True
+        assert reversed_found
+
+    def test_no_eligible_relation_raises(self, world):
+        with pytest.raises(ValueError):
+            WebTableGenerator(
+                world.full,
+                TableGeneratorConfig(relations=("rel:nonexistent",)),
+            )
+
+    def test_noise_profiles_change_output(self, world):
+        clean = WebTableGenerator(
+            world.full, TableGeneratorConfig(seed=11, n_tables=3, noise=NoiseProfile.CLEAN)
+        ).generate()
+        noisy = WebTableGenerator(
+            world.full, TableGeneratorConfig(seed=11, n_tables=3, noise=NoiseProfile.WEB)
+        ).generate()
+        assert [c.table.cells for c in clean] != [n.table.cells for n in noisy]
+
+    def test_generate_one_with_custom_id(self, world):
+        generator = WebTableGenerator(world.full, TableGeneratorConfig())
+        labeled = generator.generate_one(seed=77, table_id="custom:1")
+        assert labeled.table_id == "custom:1"

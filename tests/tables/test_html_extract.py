@@ -1,0 +1,114 @@
+"""Tests for HTML table extraction."""
+
+from repro.tables.html_extract import extract_tables_from_html
+
+SIMPLE_PAGE = """
+<html><body>
+<p>A list of physicists and their birthplaces appears below.</p>
+<table>
+  <tr><th>Name</th><th>Birthplace</th></tr>
+  <tr><td>Albert Einstein</td><td>Ulm</td></tr>
+  <tr><td>Isaac Newton</td><td>Woolsthorpe</td></tr>
+  <tr><td>Marie Curie</td><td>Warsaw</td></tr>
+</table>
+</body></html>
+"""
+
+
+class TestExtraction:
+    def test_basic_extraction(self):
+        tables = extract_tables_from_html(SIMPLE_PAGE, screen_relational=False)
+        assert len(tables) == 1
+        table = tables[0]
+        assert table.headers == ["Name", "Birthplace"]
+        assert table.n_rows == 3
+        assert table.cell(0, 0) == "Albert Einstein"
+
+    def test_context_captured(self):
+        tables = extract_tables_from_html(SIMPLE_PAGE, screen_relational=False)
+        assert "physicists" in tables[0].context
+
+    def test_source_recorded(self):
+        tables = extract_tables_from_html(
+            SIMPLE_PAGE, source="http://example.org", screen_relational=False
+        )
+        assert tables[0].source == "http://example.org"
+
+    def test_relational_screen_applies(self):
+        layout = "<table><tr><td>only</td><td></td></tr></table>"
+        assert extract_tables_from_html(layout) == []
+
+    def test_merged_cells_discarded(self):
+        page = """
+        <table>
+          <tr><td colspan="2">merged</td></tr>
+          <tr><td>a</td><td>b</td></tr>
+        </table>
+        """
+        assert extract_tables_from_html(page, screen_relational=False) == []
+
+    def test_rowspan_discarded(self):
+        page = """
+        <table>
+          <tr><td rowspan="2">x</td><td>b</td></tr>
+          <tr><td>c</td><td>d</td></tr>
+        </table>
+        """
+        assert extract_tables_from_html(page, screen_relational=False) == []
+
+    def test_irregular_grid_discarded(self):
+        page = """
+        <table>
+          <tr><td>a</td><td>b</td></tr>
+          <tr><td>c</td></tr>
+        </table>
+        """
+        assert extract_tables_from_html(page, screen_relational=False) == []
+
+    def test_outer_of_nested_tables_discarded_inner_kept(self):
+        page = """
+        <table>
+          <tr><td><table><tr><td>inner</td><td>x</td></tr></table></td><td>y</td></tr>
+          <tr><td>a</td><td>b</td></tr>
+        </table>
+        """
+        tables = extract_tables_from_html(page, screen_relational=False)
+        # the layout shell is dropped; the inner grid survives on its own
+        assert len(tables) == 1
+        assert tables[0].cells == [["inner", "x"]]
+
+    def test_multiple_tables_numbered(self):
+        page = SIMPLE_PAGE + SIMPLE_PAGE.replace("Einstein", "Bohr")
+        tables = extract_tables_from_html(
+            page, screen_relational=False, id_prefix="page7"
+        )
+        assert [t.table_id for t in tables] == ["page7:0", "page7:1"]
+
+    def test_headerless_table(self):
+        page = """
+        <table>
+          <tr><td>a</td><td>b</td></tr>
+          <tr><td>c</td><td>d</td></tr>
+        </table>
+        """
+        tables = extract_tables_from_html(page, screen_relational=False)
+        assert tables[0].headers is None
+
+    def test_entities_unescaped(self):
+        page = """
+        <table>
+          <tr><td>Tom &amp; Jerry</td><td>x</td></tr>
+          <tr><td>a</td><td>b</td></tr>
+        </table>
+        """
+        tables = extract_tables_from_html(page, screen_relational=False)
+        assert tables[0].cell(0, 0) == "Tom & Jerry"
+
+    def test_malformed_html_does_not_raise(self):
+        page = "<table><tr><td>a<td>b</tr><tr><td>c</td><td>d</table>"
+        # the stdlib parser is forgiving; just assert no exception
+        extract_tables_from_html(page, screen_relational=False)
+
+    def test_empty_page(self):
+        assert extract_tables_from_html("") == []
+        assert extract_tables_from_html("<p>no tables here</p>") == []

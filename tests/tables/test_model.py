@@ -1,0 +1,108 @@
+"""Tests for the table data model and truth round-tripping."""
+
+import pytest
+
+from repro.tables.model import LabeledTable, Table, TableTruth
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        table_id="t1",
+        cells=[["Movie A", "Director X"], ["Movie B", "Director Y"]],
+        headers=["Title", "Director"],
+        context="List of movies",
+        source="test",
+    )
+
+
+class TestTable:
+    def test_shape(self, table):
+        assert table.n_rows == 2
+        assert table.n_columns == 2
+        assert table.cell(0, 1) == "Director X"
+        assert table.column(0) == ["Movie A", "Movie B"]
+        assert table.header(1) == "Director"
+
+    def test_iter_cells(self, table):
+        cells = list(table.iter_cells())
+        assert cells[0] == (0, 0, "Movie A")
+        assert len(cells) == 4
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Table(table_id="bad", cells=[["a", "b"], ["c"]])
+
+    def test_header_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Table(table_id="bad", cells=[["a", "b"]], headers=["only one"])
+
+    def test_headers_without_cells_rejected(self):
+        with pytest.raises(ValueError):
+            Table(table_id="bad", cells=[], headers=["x"])
+
+    def test_headerless(self):
+        table = Table(table_id="t", cells=[["a", "b"]])
+        assert table.header(0) is None
+
+    def test_empty_table(self):
+        table = Table(table_id="empty", cells=[])
+        assert table.n_rows == 0
+        assert table.n_columns == 0
+
+    def test_dict_round_trip(self, table):
+        rebuilt = Table.from_dict(table.to_dict())
+        assert rebuilt == table
+
+
+class TestTruth:
+    def test_dict_round_trip_with_na(self):
+        truth = TableTruth(
+            cell_entities={(0, 0): "ent:a", (0, 1): None},
+            column_types={0: "type:movie", 1: None},
+            relations={(0, 1): "rel:directed", (0, 2): None},
+        )
+        rebuilt = TableTruth.from_dict(truth.to_dict())
+        assert rebuilt == truth
+
+    def test_empty_round_trip(self):
+        assert TableTruth.from_dict(TableTruth().to_dict()) == TableTruth()
+
+
+class TestLabeledTable:
+    def test_round_trip(self, table):
+        labeled = LabeledTable(
+            table=table,
+            truth=TableTruth(cell_entities={(0, 0): "ent:a"}),
+        )
+        rebuilt = LabeledTable.from_dict(labeled.to_dict())
+        assert rebuilt.table == table
+        assert rebuilt.truth == labeled.truth
+
+    def test_strip_to_entities(self, table):
+        labeled = LabeledTable(
+            table=table,
+            truth=TableTruth(
+                cell_entities={(0, 0): "ent:a"},
+                column_types={0: "type:movie"},
+                relations={(0, 1): "rel:directed"},
+            ),
+        )
+        stripped = labeled.strip_to_entities()
+        assert stripped.truth.cell_entities == {(0, 0): "ent:a"}
+        assert stripped.truth.column_types == {}
+        assert stripped.truth.relations == {}
+        # original untouched
+        assert labeled.truth.column_types
+
+    def test_strip_to_relations(self, table):
+        labeled = LabeledTable(
+            table=table,
+            truth=TableTruth(
+                cell_entities={(0, 0): "ent:a"},
+                relations={(0, 1): "rel:directed"},
+            ),
+        )
+        stripped = labeled.strip_to_relations()
+        assert stripped.truth.relations == {(0, 1): "rel:directed"}
+        assert stripped.truth.cell_entities == {}

@@ -1,0 +1,98 @@
+"""Hypothesis property tests on the table model and truth serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables.model import LabeledTable, Table, TableTruth
+
+cell_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs")),
+    max_size=20,
+)
+
+tables = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n_columns: st.builds(
+        lambda rows, headers: Table(
+            table_id="t",
+            cells=rows,
+            headers=headers,
+        ),
+        rows=st.lists(
+            st.lists(cell_text, min_size=n_columns, max_size=n_columns),
+            min_size=1,
+            max_size=6,
+        ),
+        headers=st.one_of(
+            st.none(),
+            st.lists(
+                st.one_of(st.none(), cell_text),
+                min_size=n_columns,
+                max_size=n_columns,
+            ),
+        ),
+    )
+)
+
+entity_labels = st.one_of(st.none(), st.from_regex(r"ent:[a-z]{1,8}", fullmatch=True))
+
+
+@given(tables)
+@settings(max_examples=60)
+def test_table_round_trip(table):
+    rebuilt = Table.from_dict(table.to_dict())
+    assert rebuilt == table
+
+
+@given(tables)
+@settings(max_examples=60)
+def test_iter_cells_covers_grid(table):
+    cells = list(table.iter_cells())
+    assert len(cells) == table.n_rows * table.n_columns
+    for row, column, text in cells:
+        assert table.cell(row, column) == text
+
+
+@given(
+    st.dictionaries(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=9),
+        ),
+        entity_labels,
+        max_size=8,
+    ),
+    st.dictionaries(
+        st.integers(min_value=0, max_value=9),
+        st.one_of(st.none(), st.from_regex(r"type:[a-z]{1,8}", fullmatch=True)),
+        max_size=4,
+    ),
+    st.dictionaries(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=5, max_value=9),
+        ),
+        st.one_of(st.none(), st.from_regex(r"rel:[a-z]{1,8}(\^-1)?", fullmatch=True)),
+        max_size=4,
+    ),
+)
+@settings(max_examples=60)
+def test_truth_round_trip(cell_entities, column_types, relations):
+    truth = TableTruth(
+        cell_entities=cell_entities,
+        column_types=column_types,
+        relations=relations,
+    )
+    rebuilt = TableTruth.from_dict(truth.to_dict())
+    assert rebuilt == truth
+
+
+@given(tables)
+@settings(max_examples=40)
+def test_labeled_table_round_trip(table):
+    labeled = LabeledTable(
+        table=table,
+        truth=TableTruth(cell_entities={(0, 0): "ent:x"}),
+    )
+    rebuilt = LabeledTable.from_dict(labeled.to_dict())
+    assert rebuilt.table == table
+    assert rebuilt.truth == labeled.truth

@@ -1,0 +1,103 @@
+"""Tests (incl. hypothesis properties) for the noise channels."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables.noise import WEB_NOISE, WIKI_NOISE, NoiseModel
+
+
+class TestChannels:
+    def test_all_off_is_identity(self):
+        model = NoiseModel()
+        rng = random.Random(0)
+        assert model.corrupt_cell("Albert Einstein", rng) == "Albert Einstein"
+        assert model.corrupt_header("Title", rng) == "Title"
+
+    def test_abbreviation(self):
+        model = NoiseModel(abbreviation_prob=1.0)
+        assert model.corrupt_cell("Albert Einstein", random.Random(0)) == "A. Einstein"
+
+    def test_abbreviation_single_token_untouched(self):
+        model = NoiseModel(abbreviation_prob=1.0)
+        assert model.corrupt_cell("Einstein", random.Random(0)) == "Einstein"
+
+    def test_token_drop_keeps_first(self):
+        model = NoiseModel(token_drop_prob=1.0)
+        result = model.corrupt_cell("Albert Middle Einstein", random.Random(1))
+        tokens = result.split()
+        assert tokens[0] == "Albert"
+        assert len(tokens) == 2
+
+    def test_case_mangle(self):
+        model = NoiseModel(case_mangle_prob=1.0)
+        result = model.corrupt_cell("Albert Einstein", random.Random(0))
+        assert result in ("albert einstein", "ALBERT EINSTEIN")
+
+    def test_junk_suffix(self):
+        model = NoiseModel(junk_suffix_prob=1.0)
+        result = model.corrupt_cell("Einstein", random.Random(0))
+        assert result.startswith("Einstein")
+        assert len(result) > len("Einstein")
+
+    def test_header_drop(self):
+        model = NoiseModel(header_drop_prob=1.0)
+        assert model.corrupt_header("Title", random.Random(0)) is None
+
+    def test_header_synonym(self):
+        model = NoiseModel(header_synonym_prob=1.0)
+        result = model.corrupt_header(
+            "Title", random.Random(0), synonyms=("Film", "Movie")
+        )
+        assert result in ("Film", "Movie")
+
+    def test_header_synonym_without_pool_keeps_header(self):
+        model = NoiseModel(header_synonym_prob=1.0)
+        assert model.corrupt_header("Title", random.Random(0)) == "Title"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(typo_prob=2.0).validate()
+
+
+class TestPresets:
+    def test_presets_valid(self):
+        WIKI_NOISE.validate()
+        WEB_NOISE.validate()
+
+    def test_web_noisier_than_wiki(self):
+        assert WEB_NOISE.typo_prob > WIKI_NOISE.typo_prob
+        assert WEB_NOISE.header_drop_prob > WIKI_NOISE.header_drop_prob
+
+
+class TestProperties:
+    @given(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Zs")),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80)
+    def test_corrupt_cell_never_empties_nonblank(self, text, seed):
+        if not text.strip():
+            return
+        result = WEB_NOISE.corrupt_cell(text, random.Random(seed))
+        assert result.strip()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40)
+    def test_determinism(self, seed):
+        a = WEB_NOISE.corrupt_cell("Albert Einstein", random.Random(seed))
+        b = WEB_NOISE.corrupt_cell("Albert Einstein", random.Random(seed))
+        assert a == b
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=40)
+    def test_typo_changes_at_most_locally(self, seed):
+        model = NoiseModel(typo_prob=1.0)
+        result = model.corrupt_cell("abcdefgh", random.Random(seed))
+        assert abs(len(result) - len("abcdefgh")) <= 1

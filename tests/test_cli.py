@@ -1,0 +1,187 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def world_dir(tmp_path):
+    output = tmp_path / "world"
+    exit_code = main(
+        [
+            "generate-world",
+            "--output",
+            str(output),
+            "--seed",
+            "5",
+            "--tables",
+            "4",
+            "--noise",
+            "wiki",
+        ]
+    )
+    assert exit_code == 0
+    return output
+
+
+class TestGenerateWorld:
+    def test_files_written(self, world_dir):
+        assert (world_dir / "catalog_full.json").exists()
+        assert (world_dir / "catalog_view.json").exists()
+        assert (world_dir / "corpus.jsonl").exists()
+
+    def test_corpus_size(self, world_dir):
+        lines = (world_dir / "corpus.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 4
+
+    def test_without_tables(self, tmp_path):
+        output = tmp_path / "bare"
+        assert main(["generate-world", "--output", str(output)]) == 0
+        assert not (output / "corpus.jsonl").exists()
+
+
+class TestAnnotate:
+    def test_annotation_output(self, world_dir, tmp_path):
+        output = tmp_path / "annotations.json"
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        annotations = json.loads(output.read_text())
+        assert len(annotations) == 4
+        first = annotations[0]
+        assert set(first) == {"table_id", "cells", "columns", "relations"}
+        assert any(value is not None for value in first["columns"].values())
+
+    def test_stdout_mode(self, world_dir, capsys):
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert json.loads(printed)
+
+
+class TestTrainAndSearch:
+    def test_train_then_annotate_with_model(self, world_dir, tmp_path):
+        model_path = tmp_path / "model.json"
+        exit_code = main(
+            [
+                "train",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--output",
+                str(model_path),
+                "--epochs",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        assert model_path.exists()
+        output = tmp_path / "annotations.json"
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--model",
+                str(model_path),
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+
+    def test_search(self, world_dir, capsys):
+        # find a directed tuple from the full catalog to query for
+        from repro.catalog.io import load_catalog_json
+
+        full = load_catalog_json(world_dir / "catalog_full.json")
+        director = sorted(full.relations.participating_objects("rel:directed"))[0]
+        exit_code = main(
+            [
+                "search",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--relation",
+                "rel:directed",
+                "--entity",
+                director,
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "answers" in printed
+
+
+class TestAugment:
+    def test_augment_prints_proposals(self, world_dir, capsys):
+        exit_code = main(
+            [
+                "augment",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--min-confidence",
+                "0",
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "tuple proposals" in printed
+
+    def test_augment_writes_catalog(self, world_dir, tmp_path):
+        from repro.catalog.io import load_catalog_json
+
+        output = tmp_path / "augmented.json"
+        exit_code = main(
+            [
+                "augment",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--min-confidence",
+                "0",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        before = load_catalog_json(world_dir / "catalog_view.json")
+        after = load_catalog_json(output)
+        assert after.stats()["tuples"] >= before.stats()["tuples"]
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

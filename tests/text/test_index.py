@@ -1,0 +1,93 @@
+"""Tests for the inverted index (Lucene substitute)."""
+
+import pytest
+
+from repro.text.index import InvertedIndex
+
+
+@pytest.fixture()
+def index() -> InvertedIndex:
+    idx = InvertedIndex()
+    idx.add("e1", "Albert Einstein")
+    idx.add("e1", "Einstein")
+    idx.add("e2", "Albert Brooks")
+    idx.add("e3", "Einstein Bros Bagels")
+    idx.add("e4", "Isaac Newton")
+    idx.freeze()
+    return idx
+
+
+class TestRetrieval:
+    def test_exact_match_ranks_first(self, index):
+        hits = index.search("Albert Einstein")
+        assert hits[0].key == "e1"
+
+    def test_single_token_hits_all_holders(self, index):
+        keys = {hit.key for hit in index.search("einstein")}
+        assert keys == {"e1", "e3"}
+
+    def test_no_match(self, index):
+        assert index.search("zzz qqq") == []
+
+    def test_empty_query(self, index):
+        assert index.search("") == []
+
+    def test_top_k_limits(self, index):
+        hits = index.search("albert einstein newton", top_k=2)
+        assert len(hits) == 2
+
+    def test_key_deduplication_takes_best(self, index):
+        # e1 indexed under two lemmas; must appear once
+        hits = index.search("einstein")
+        keys = [hit.key for hit in hits]
+        assert keys.count("e1") == 1
+
+    def test_scores_sorted_descending(self, index):
+        hits = index.search("albert einstein bagels")
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic_tie_break(self):
+        idx = InvertedIndex()
+        idx.add("b", "same text")
+        idx.add("a", "same text")
+        hits = idx.search("same text")
+        # ties broken by string form of key, descending heapq order
+        assert [hit.key for hit in hits] == ["b", "a"]
+
+
+class TestStatistics:
+    def test_idf_and_df(self, index):
+        # df counts documents, not keys: e1 holds two einstein documents
+        assert index.document_frequency("einstein") == 3
+        assert index.document_frequency("albert") == 2
+        assert index.idf("newton") > index.idf("einstein")
+
+    def test_document_count(self, index):
+        assert index.document_count == 5
+
+    def test_keys_with_token(self, index):
+        assert index.keys_with_token("Einstein") == {"e1", "e3"}
+        assert index.keys_with_token("nothere") == set()
+
+
+class TestLifecycle:
+    def test_add_after_freeze_rejected(self, index):
+        with pytest.raises(RuntimeError):
+            index.add("e9", "late entry")
+
+    def test_search_auto_freezes(self):
+        idx = InvertedIndex()
+        idx.add("k", "hello world")
+        assert idx.search("hello")[0].key == "k"
+
+    def test_empty_document_ignored(self):
+        idx = InvertedIndex()
+        idx.add("k", "...")
+        idx.freeze()
+        assert idx.document_count == 0
+
+    def test_add_many(self):
+        idx = InvertedIndex()
+        idx.add_many([("a", "one"), ("b", "two")])
+        assert idx.document_count == 2

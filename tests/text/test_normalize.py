@@ -1,0 +1,52 @@
+"""Tests for cell/header normalisation and numeric detection."""
+
+from repro.text.normalize import is_numeric_text, is_year_text, normalize_text
+
+
+class TestNormalize:
+    def test_whitespace_collapsed(self):
+        assert normalize_text("  New   York \n City ") == "New York City"
+
+    def test_html_entities_unescaped(self):
+        assert normalize_text("Tom &amp; Jerry") == "Tom & Jerry"
+
+    def test_bracketed_removed(self):
+        assert normalize_text("Paris (France)") == "Paris"
+        assert normalize_text("Einstein [1]") == "Einstein"
+
+    def test_bracketed_kept_when_disabled(self):
+        assert normalize_text("Paris (France)", strip_bracketed=False) == (
+            "Paris (France)"
+        )
+
+    def test_footnote_markers_stripped(self):
+        assert normalize_text("Einstein*") == "Einstein"
+        assert normalize_text("Einstein†") == "Einstein"
+
+    def test_empty(self):
+        assert normalize_text("") == ""
+        assert normalize_text("   ") == ""
+
+
+class TestNumericDetection:
+    def test_integers_and_floats(self):
+        assert is_numeric_text("42")
+        assert is_numeric_text("3.14")
+        assert is_numeric_text("-7")
+        assert is_numeric_text("1,234,567")
+
+    def test_units_and_percent(self):
+        assert is_numeric_text("85%")
+        assert is_numeric_text("12 km")
+
+    def test_non_numeric(self):
+        assert not is_numeric_text("Einstein")
+        assert not is_numeric_text("12 Monkeys")
+        assert not is_numeric_text("")
+
+    def test_year(self):
+        assert is_year_text("1951")
+        assert is_year_text("2009")
+        assert not is_year_text("951")
+        assert not is_year_text("3000")
+        assert not is_year_text("1951 films")

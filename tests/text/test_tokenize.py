@@ -1,0 +1,76 @@
+"""Tests for tokenisation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import STOP_TOKENS, ngrams, token_counts, token_set, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Albert Einstein") == ["albert", "einstein"]
+
+    def test_punctuation_split(self):
+        assert tokenize("Relativity: The Special, and the General Theory") == [
+            "relativity",
+            "the",
+            "special",
+            "and",
+            "the",
+            "general",
+            "theory",
+        ]
+
+    def test_numbers_kept_as_tokens(self):
+        assert tokenize("1951 novels") == ["1951", "novels"]
+
+    def test_mixed_alnum_splits_digits(self):
+        assert tokenize("b-52s") == ["b", "52", "s"]
+
+    def test_unicode(self):
+        assert tokenize("Café Müller") == ["café", "müller"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("  \t\n ") == []
+
+    def test_stop_token_removal(self):
+        assert tokenize("The Lord of the Rings", drop_stop_tokens=True) == [
+            "lord",
+            "rings",
+        ]
+
+    def test_stop_removal_never_empties(self):
+        assert tokenize("The Of A", drop_stop_tokens=True) == ["the", "of", "a"]
+
+    @given(st.text(max_size=80))
+    def test_tokens_are_lowercase_word_chars(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert token  # never empty
+            assert not any(ch.isspace() for ch in token)
+
+    @given(st.text(max_size=80))
+    def test_token_set_matches_counts(self, text):
+        assert token_set(text) == frozenset(token_counts(text))
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_window_larger_than_input(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_invalid_n(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_stop_tokens_frozen(self):
+        assert "the" in STOP_TOKENS
+        assert isinstance(STOP_TOKENS, frozenset)
