@@ -8,9 +8,9 @@ a known set of tuples *dropped*; the augmenter must propose new tuples at
 high precision and recover part of the dropped set.
 """
 
-from repro.core.annotator import TableAnnotator
 from repro.core.augmentation import CatalogAugmenter, recovered_fraction
 from repro.eval.reporting import format_table
+from repro.pipeline import AnnotationPipeline
 
 THRESHOLDS = (0.0, 0.5, 1.0, 2.0)
 
@@ -18,9 +18,9 @@ THRESHOLDS = (0.0, 0.5, 1.0, 2.0)
 def test_catalog_augmentation(
     bench_world, bench_datasets, trained_model, emit, benchmark
 ):
-    annotator = TableAnnotator(bench_world.annotator_view, model=trained_model)
+    pipeline = AnnotationPipeline(bench_world.annotator_view, model=trained_model)
     tables = bench_datasets["wiki_manual"].tables + bench_datasets["web_manual"].tables
-    annotations = [annotator.annotate(labeled.table) for labeled in tables]
+    annotations = pipeline.annotate_corpus(tables)
 
     rows = []
     stats_by_threshold = {}

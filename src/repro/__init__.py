@@ -37,6 +37,12 @@ from repro.core import (
     TrainingConfig,
     TypeEntityFeatureMode,
 )
+from repro.pipeline import (
+    AnnotationPipeline,
+    CandidateCache,
+    CorpusTimingReport,
+    PipelineConfig,
+)
 from repro.search import (
     AnnotatedSearcher,
     AnnotatedTableIndex,
@@ -61,7 +67,11 @@ __all__ = [
     "AnnotatedSearcher",
     "AnnotatedTableIndex",
     "AnnotationModel",
+    "AnnotationPipeline",
     "AnnotatorConfig",
+    "CandidateCache",
+    "CorpusTimingReport",
+    "PipelineConfig",
     "BaselineSearcher",
     "Catalog",
     "CatalogBuilder",

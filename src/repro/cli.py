@@ -5,11 +5,17 @@ Commands:
 * ``generate-world`` — write a synthetic catalog pair (full + annotator view)
   and optionally a table corpus to a directory,
 * ``annotate``       — annotate a JSONL table corpus against a catalog and
-  write the annotations as JSON,
+  write the annotations as JSON (or streaming JSONL),
 * ``train``          — train model weights on a labeled corpus,
 * ``search``         — answer one relational query over an annotated corpus,
+* ``search-index``   — annotate + index a corpus and report index statistics,
 * ``augment``        — mine new catalog facts from an annotated corpus and
   optionally write the augmented catalog back out.
+
+Every corpus-scale command goes through
+:class:`~repro.pipeline.AnnotationPipeline` — the shared candidate cache,
+batching and worker flags below (``--workers``, ``--batch-size``,
+``--cache-size``) apply uniformly.
 
 All commands are deterministic given their ``--seed`` arguments.  The CLI is
 a thin shell over the library; anything beyond one-shot usage should import
@@ -25,9 +31,13 @@ from pathlib import Path
 
 from repro.catalog.io import load_catalog_json, save_catalog_json
 from repro.catalog.synthetic import SyntheticCatalogConfig, generate_world
-from repro.core.annotator import TableAnnotator
-from repro.core.learning import StructuredTrainer, TrainingConfig
 from repro.core.model import AnnotationModel, default_model
+from repro.pipeline.io import (
+    annotation_to_dict,
+    iter_corpus_jsonl,
+    write_annotations_jsonl,
+)
+from repro.pipeline.pipeline import AnnotationPipeline, PipelineConfig
 from repro.search.annotated_search import AnnotatedSearcher
 from repro.search.query import RelationQuery
 from repro.search.table_index import AnnotatedTableIndex
@@ -39,22 +49,57 @@ from repro.tables.generator import (
 )
 
 
-def _annotation_to_dict(annotation) -> dict:
-    return {
-        "table_id": annotation.table_id,
-        "cells": {
-            f"{row},{column}": cell.entity_id
-            for (row, column), cell in sorted(annotation.cells.items())
-        },
-        "columns": {
-            str(column): ann.type_id
-            for column, ann in sorted(annotation.columns.items())
-        },
-        "relations": {
-            f"{left},{right}": relation.label
-            for (left, right), relation in sorted(annotation.relations.items())
-        },
-    }
+def _pipeline_from_args(args: argparse.Namespace) -> AnnotationPipeline:
+    """Build the corpus pipeline shared by every annotating command."""
+    catalog = load_catalog_json(args.catalog)
+    model = AnnotationModel.load(args.model) if args.model else default_model()
+    config = PipelineConfig(
+        batch_size=args.batch_size,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    )
+    return AnnotationPipeline(catalog, model=model, config=config)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="annotation worker threads (1 = serial)",
+    )
+    parser.add_argument(
+        "--batch-size", type=_positive_int, default=16, help="tables per batch"
+    )
+    parser.add_argument(
+        "--cache-size", type=_non_negative_int, default=100_000,
+        help="candidate-cache entries (0 disables the cache)",
+    )
+
+
+def _print_pipeline_summary(pipeline: AnnotationPipeline) -> None:
+    report = pipeline.last_report
+    if report is None or not report.finished:
+        return
+    line = (
+        f"annotated {report.n_tables} tables in {report.wall_seconds:.2f}s "
+        f"(candidate share {report.candidate_fraction:.0%}"
+    )
+    if report.cache is not None:
+        line += f", cache hit rate {report.cache.hit_rate:.0%}"
+    print(line + ")", file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -82,28 +127,40 @@ def cmd_generate_world(args: argparse.Namespace) -> int:
 
 
 def cmd_annotate(args: argparse.Namespace) -> int:
-    catalog = load_catalog_json(args.catalog)
-    corpus = load_corpus_jsonl(args.corpus)
-    model = AnnotationModel.load(args.model) if args.model else default_model()
-    annotator = TableAnnotator(catalog, model=model)
-    annotations = [
-        _annotation_to_dict(annotator.annotate(labeled.table)) for labeled in corpus
-    ]
-    payload = json.dumps(annotations, indent=1)
-    if args.output:
-        Path(args.output).write_text(payload, encoding="utf-8")
-        print(f"annotated {len(annotations)} tables -> {args.output}")
+    pipeline = _pipeline_from_args(args)
+    if args.jsonl:
+        # streaming mode: corpus is read, annotated and written one batch at
+        # a time — memory stays bounded however large the corpus is
+        if args.output:
+            report = pipeline.annotate_jsonl(args.corpus, args.output)
+            print(f"annotated {report.n_tables} tables -> {args.output}")
+        else:
+            pipeline.annotate_jsonl(args.corpus, sys.stdout)
     else:
-        print(payload)
+        annotations = [
+            annotation_to_dict(annotation)
+            for annotation in pipeline.annotate_stream(iter_corpus_jsonl(args.corpus))
+        ]
+        payload = json.dumps(annotations, indent=1)
+        if args.output:
+            Path(args.output).write_text(payload, encoding="utf-8")
+            print(f"annotated {len(annotations)} tables -> {args.output}")
+        else:
+            print(payload)
+    _print_pipeline_summary(pipeline)
     return 0
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.learning import StructuredTrainer, TrainingConfig
+
     catalog = load_catalog_json(args.catalog)
     corpus = load_corpus_jsonl(args.corpus)
-    annotator = TableAnnotator(catalog, model=default_model())
+    # the pipeline's shared cache pays off across epochs: every epoch
+    # re-probes the same training cells
+    pipeline = AnnotationPipeline(catalog, model=default_model())
     trainer = StructuredTrainer(
-        annotator,
+        pipeline.annotator,
         TrainingConfig(epochs=args.epochs, seed=args.seed),
     )
     model = trainer.train(list(corpus))
@@ -115,14 +172,12 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    catalog = load_catalog_json(args.catalog)
-    corpus = load_corpus_jsonl(args.corpus)
-    model = AnnotationModel.load(args.model) if args.model else default_model()
-    annotator = TableAnnotator(catalog, model=model)
-    index = AnnotatedTableIndex(catalog=catalog)
-    for labeled in corpus:
-        index.add_table(labeled.table, annotator.annotate(labeled.table))
-    index.freeze()
+    pipeline = _pipeline_from_args(args)
+    catalog = pipeline.catalog
+    index = AnnotatedTableIndex.from_corpus(
+        catalog, iter_corpus_jsonl(args.corpus), pipeline=pipeline
+    )
+    _print_pipeline_summary(pipeline)
     query = RelationQuery.from_catalog(catalog, args.relation, args.entity)
     searcher = AnnotatedSearcher(
         index, catalog, use_relations=not args.no_relations
@@ -138,13 +193,12 @@ def cmd_search(args: argparse.Namespace) -> int:
 def cmd_augment(args: argparse.Namespace) -> int:
     from repro.core.augmentation import CatalogAugmenter
 
-    catalog = load_catalog_json(args.catalog)
-    corpus = load_corpus_jsonl(args.corpus)
-    model = AnnotationModel.load(args.model) if args.model else default_model()
-    annotator = TableAnnotator(catalog, model=model)
+    pipeline = _pipeline_from_args(args)
+    catalog = pipeline.catalog
     augmenter = CatalogAugmenter(catalog, min_confidence=args.min_confidence)
-    for labeled in corpus:
-        augmenter.add_annotated_table(annotator.annotate(labeled.table))
+    for annotation in pipeline.annotate_stream(iter_corpus_jsonl(args.corpus)):
+        augmenter.add_annotated_table(annotation)
+    _print_pipeline_summary(pipeline)
     report = augmenter.report()
     print(
         f"{len(report.tuples)} tuple proposals, "
@@ -162,6 +216,33 @@ def cmd_augment(args: argparse.Namespace) -> int:
             f"applied {counts['tuples']} tuples and "
             f"{counts['instance_links']} links -> {args.output}"
         )
+    return 0
+
+
+def cmd_search_index(args: argparse.Namespace) -> int:
+    pipeline = _pipeline_from_args(args)
+    catalog = pipeline.catalog
+
+    def tables_with_side_output():
+        if not args.annotations:
+            yield from pipeline.annotate_with_tables(iter_corpus_jsonl(args.corpus))
+            return
+        with Path(args.annotations).open("w", encoding="utf-8") as handle:
+            for table, annotation in pipeline.annotate_with_tables(
+                iter_corpus_jsonl(args.corpus)
+            ):
+                write_annotations_jsonl([annotation], handle)
+                yield table, annotation
+
+    index = AnnotatedTableIndex(catalog=catalog)
+    for table, annotation in tables_with_side_output():
+        index.add_table(table, annotation)
+    index.freeze()
+    _print_pipeline_summary(pipeline)
+    for key, value in index.stats().items():
+        print(f"{key}: {value}")
+    if args.annotations:
+        print(f"annotations -> {args.annotations}")
     return 0
 
 
@@ -193,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     annotate.add_argument("--corpus", required=True)
     annotate.add_argument("--model", default=None)
     annotate.add_argument("--output", default=None)
+    annotate.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="stream annotations as JSONL (one object per line, bounded memory)",
+    )
+    _add_pipeline_arguments(annotate)
     annotate.set_defaults(handler=cmd_annotate)
 
     train = subparsers.add_parser("train", help="train model weights")
@@ -215,7 +302,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="type-only search (paper Figure 4 without relation filtering)",
     )
+    _add_pipeline_arguments(search)
     search.set_defaults(handler=cmd_search)
+
+    search_index = subparsers.add_parser(
+        "search-index",
+        help="annotate + index a corpus, reporting index statistics",
+    )
+    search_index.add_argument("--catalog", required=True)
+    search_index.add_argument("--corpus", required=True)
+    search_index.add_argument("--model", default=None)
+    search_index.add_argument(
+        "--annotations",
+        default=None,
+        help="also write the annotation stream to this JSONL path",
+    )
+    _add_pipeline_arguments(search_index)
+    search_index.set_defaults(handler=cmd_search_index)
 
     augment = subparsers.add_parser(
         "augment", help="mine new catalog facts from an annotated corpus"
@@ -229,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     augment.add_argument("--min-confidence", type=float, default=0.5)
     augment.add_argument("--min-support", type=int, default=1)
     augment.add_argument("--top-k", type=int, default=10)
+    _add_pipeline_arguments(augment)
     augment.set_defaults(handler=cmd_augment)
     return parser
 

@@ -39,7 +39,15 @@ NA = None
 
 
 class FeatureComputer:
-    """Feature evaluation against one catalog, with cross-table memoisation."""
+    """Feature evaluation against one catalog, with cross-table memoisation.
+
+    Two memoisation layers exist.  The element caches below (f1..f5 per
+    label) are always on, as in the seed implementation.  ``block_cache``,
+    when attached (the annotation pipeline does this), additionally memoises
+    whole *assembled* feature arrays keyed by the candidate-space tuples —
+    profiling shows the per-row stacking in :func:`build_problem`, not
+    retrieval, dominates candidate time on corpora with repeated cells.
+    """
 
     def __init__(
         self,
@@ -50,8 +58,90 @@ class FeatureComputer:
         self.catalog = catalog
         self.mode = mode
         self.generator = generator
+        #: optional shared LRU for assembled blocks (set by the pipeline);
+        #: anything with get(key)/put(key, value) semantics works
+        self.block_cache = None
+        # keyed by catalog ids only — bounded by catalog size, unlike the
+        # text-keyed block cache which is therefore LRU-bounded instead
         self._f3_cache: dict[tuple[str, str], np.ndarray] = {}
         self._f4_side_cache: dict[tuple[str, str], tuple[float, float, float, float]] = {}
+        self._f5_cache: dict[tuple[str, str, str], np.ndarray] = {}
+
+    def _block(self, key: tuple, build) -> np.ndarray:
+        """Assembled-array memoisation through ``block_cache`` when attached."""
+        cache = self.block_cache
+        if cache is None:
+            return build()
+        cached = cache.get(key)
+        if cached is None:
+            cached = build()
+            cache.put(key, cached)
+        return cached
+
+    # -- assembled blocks (keyed by candidate-space tuples) ---------------
+    def f1_block(
+        self, cell_text: str, entity_ids: tuple[str, ...]
+    ) -> np.ndarray:
+        """f1 rows for one cell's candidate list, shape (n_entities, |f1|)."""
+        return self._block(
+            ("f1", cell_text, entity_ids),
+            lambda: np.stack([self.f1(cell_text, e) for e in entity_ids]),
+        )
+
+    def f2_block(
+        self, header_text: str | None, type_ids: tuple[str, ...]
+    ) -> np.ndarray:
+        """f2 rows for one column's candidate types, shape (n_types, |f2|)."""
+        return self._block(
+            ("f2", header_text, type_ids),
+            lambda: np.stack([self.f2(header_text, t) for t in type_ids]),
+        )
+
+    def f3_block(
+        self, type_ids: tuple[str, ...], entity_ids: tuple[str, ...]
+    ) -> np.ndarray:
+        """f3 grid for one cell, shape (n_types, n_entities, |f3|)."""
+        return self._block(
+            ("f3", type_ids, entity_ids),
+            lambda: np.stack(
+                [
+                    np.stack([self.f3(t, e) for e in entity_ids])
+                    for t in type_ids
+                ]
+            ),
+        )
+
+    def f4_block(
+        self,
+        relation_labels: tuple[str, ...],
+        left_types: tuple[str, ...],
+        right_types: tuple[str, ...],
+    ) -> np.ndarray:
+        """Cached :meth:`f4_table` (same shape and contents)."""
+        return self._block(
+            ("f4", relation_labels, left_types, right_types),
+            lambda: self.f4_table(relation_labels, left_types, right_types),
+        )
+
+    def f5_block(
+        self,
+        labels: tuple[str, ...],
+        left_ids: tuple[str, ...],
+        right_ids: tuple[str, ...],
+    ) -> np.ndarray:
+        """f5 grid for one row of a pair, shape (n_labels, n_left, n_right, |f5|)."""
+
+        def build() -> np.ndarray:
+            block = np.zeros((len(labels), len(left_ids), len(right_ids), 2))
+            for b_index, label in enumerate(labels):
+                for e_index, left_id in enumerate(left_ids):
+                    for o_index, right_id in enumerate(right_ids):
+                        block[b_index, e_index, o_index] = self.f5(
+                            label, left_id, right_id
+                        )
+            return block
+
+        return self._block(("f5", labels, left_ids, right_ids), build)
 
     # -- f1 / f2 --------------------------------------------------------
     def f1(self, cell_text: str, entity_id: str) -> np.ndarray:
@@ -143,9 +233,14 @@ class FeatureComputer:
 
     # -- f5 ---------------------------------------------------------------
     def f5(self, label: str, left_entity: str, right_entity: str) -> np.ndarray:
-        return relation_entities_features(
-            self.catalog, label, left_entity, right_entity
-        )
+        key = (label, left_entity, right_entity)
+        cached = self._f5_cache.get(key)
+        if cached is None:
+            cached = relation_entities_features(
+                self.catalog, label, left_entity, right_entity
+            )
+            self._f5_cache[key] = cached
+        return cached
 
 
 @dataclass
@@ -254,11 +349,9 @@ def build_problem(
             candidates = generator.cell_candidates(table.cell(row, column))
             per_row.append(candidates)
             if candidates:
-                f1 = np.stack(
-                    [
-                        features.f1(table.cell(row, column), candidate.entity_id)
-                        for candidate in candidates
-                    ]
+                f1 = features.f1_block(
+                    table.cell(row, column),
+                    tuple(c.entity_id for c in candidates),
                 )
                 cells[(row, column)] = CellSpace(
                     row=row,
@@ -276,7 +369,7 @@ def build_problem(
         if not type_ids:
             continue
         header = table.header(column)
-        f2 = np.stack([features.f2(header, type_id) for type_id in type_ids])
+        f2 = features.f2_block(header, tuple(type_ids))
         space = ColumnSpace(
             column=column,
             header=header,
@@ -287,18 +380,10 @@ def build_problem(
             cell = cells.get((row, column))
             if cell is None:
                 continue
-            f3 = np.stack(
-                [
-                    np.stack(
-                        [
-                            features.f3(type_id, candidate.entity_id)
-                            for candidate in cell.candidates
-                        ]
-                    )
-                    for type_id in type_ids
-                ]
+            space.f3[row] = features.f3_block(
+                tuple(type_ids),
+                tuple(c.entity_id for c in cell.candidates),
             )
-            space.f3[row] = f3
         columns[column] = space
 
     pairs: dict[tuple[int, int], PairSpace] = {}
@@ -316,7 +401,7 @@ def build_problem(
     for left, right, labels in candidate_pairs[:max_column_pairs]:
         left_types = columns[left].labels[1:]
         right_types = columns[right].labels[1:]
-        f4 = features.f4_table(tuple(labels), left_types, right_types)
+        f4 = features.f4_block(tuple(labels), left_types, right_types)
         space = PairSpace(
             left=left,
             right=right,
@@ -328,18 +413,11 @@ def build_problem(
             right_cell = cells.get((row, right))
             if left_cell is None or right_cell is None:
                 continue
-            f5 = np.zeros(
-                (len(labels), len(left_cell.candidates), len(right_cell.candidates), 2)
+            space.f5[row] = features.f5_block(
+                tuple(labels),
+                tuple(c.entity_id for c in left_cell.candidates),
+                tuple(c.entity_id for c in right_cell.candidates),
             )
-            for b_index, label in enumerate(labels):
-                for e_index, left_candidate in enumerate(left_cell.candidates):
-                    for o_index, right_candidate in enumerate(right_cell.candidates):
-                        f5[b_index, e_index, o_index] = features.f5(
-                            label,
-                            left_candidate.entity_id,
-                            right_candidate.entity_id,
-                        )
-            space.f5[row] = f5
         pairs[(left, right)] = space
 
     return AnnotationProblem(table=table, cells=cells, columns=columns, pairs=pairs)

@@ -7,14 +7,15 @@ paper-style tables.  See DESIGN.md section 4 for the experiment index.
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.catalog.catalog import Catalog
 from repro.catalog.synthetic import SyntheticWorld
-from repro.core.annotator import AnnotatorConfig, TableAnnotator
+from repro.core.annotator import AnnotatorConfig
 from repro.core.features import TypeEntityFeatureMode
 from repro.core.learning import StructuredTrainer, TrainingConfig
 from repro.core.model import AnnotationModel, default_model
+from repro.pipeline.pipeline import AnnotationPipeline, PipelineConfig
 from repro.eval.datasets import EvalDataset
 from repro.eval.metrics import (
     AnnotationScores,
@@ -33,6 +34,24 @@ from repro.tables.model import LabeledTable
 ALGORITHMS = ("lca", "majority", "collective")
 
 
+def _make_pipeline(
+    catalog: Catalog,
+    model: AnnotationModel | None = None,
+    annotator_config: AnnotatorConfig | None = None,
+    pipeline_config: PipelineConfig | None = None,
+) -> AnnotationPipeline:
+    """One pipeline per experiment: shared lemma index + candidate cache.
+
+    ``annotator_config``, when given, overrides the annotator settings inside
+    ``pipeline_config`` (kept for backward compatibility with the pre-pipeline
+    runner signatures).
+    """
+    config = pipeline_config if pipeline_config is not None else PipelineConfig()
+    if annotator_config is not None:
+        config = replace(config, annotator=annotator_config)
+    return AnnotationPipeline(catalog, model=model, config=config)
+
+
 # ----------------------------------------------------------------------
 # training (Section 6.1.3)
 # ----------------------------------------------------------------------
@@ -44,13 +63,13 @@ def train_model(
     annotator_config: AnnotatorConfig | None = None,
 ) -> AnnotationModel:
     """Train w1..w5 on the given tables (the paper trains on Wiki Manual)."""
-    annotator = TableAnnotator(
+    pipeline = _make_pipeline(
         world.annotator_view,
         model=default_model(mode),
-        config=annotator_config,
+        annotator_config=annotator_config,
     )
     trainer = StructuredTrainer(
-        annotator, training if training is not None else TrainingConfig()
+        pipeline.annotator, training if training is not None else TrainingConfig()
     )
     return trainer.train(train_tables)
 
@@ -65,11 +84,15 @@ def evaluate_annotation(
     algorithms: tuple[str, ...] = ALGORITHMS,
     majority_threshold: float = 50.0,
     annotator_config: AnnotatorConfig | None = None,
+    pipeline_config: PipelineConfig | None = None,
 ) -> dict[str, AnnotationScores]:
     """Score each algorithm on one dataset (shared problems and caches)."""
-    annotator = TableAnnotator(
-        world.annotator_view, model=model, config=annotator_config
-    )
+    annotator = _make_pipeline(
+        world.annotator_view,
+        model=model,
+        annotator_config=annotator_config,
+        pipeline_config=pipeline_config,
+    ).annotator
     scores = {name: AnnotationScores() for name in algorithms}
     for labeled in dataset.tables:
         problem = annotator.build_problem(labeled.table)
@@ -158,9 +181,9 @@ def threshold_sweep(
     annotator_config: AnnotatorConfig | None = None,
 ) -> dict[float, float]:
     """Type F1 of Majority(F) for each threshold F (LCA at 100)."""
-    annotator = TableAnnotator(
-        world.annotator_view, model=model, config=annotator_config
-    )
+    annotator = _make_pipeline(
+        world.annotator_view, model=model, annotator_config=annotator_config
+    ).annotator
     results: dict[float, float] = {}
     problems = [
         (annotator.build_problem(labeled.table), labeled.truth)
@@ -186,7 +209,11 @@ def threshold_sweep(
 # ----------------------------------------------------------------------
 @dataclass
 class TimingReport:
-    """Summary of the per-table annotation timing experiment."""
+    """Summary of the per-table annotation timing experiment.
+
+    The cache fields describe the pipeline's shared candidate cache during
+    the run (all zero when caching is disabled).
+    """
 
     n_tables: int
     mean_seconds: float
@@ -195,6 +222,10 @@ class TimingReport:
     candidate_fraction: float
     inference_fraction: float
     per_table_seconds: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
 
 
 def timing_experiment(
@@ -202,28 +233,32 @@ def timing_experiment(
     tables: list[LabeledTable],
     model: AnnotationModel,
     annotator_config: AnnotatorConfig | None = None,
+    pipeline_config: PipelineConfig | None = None,
 ) -> TimingReport:
     """Annotate a snapshot of tables, recording the Figure-7 breakdown."""
-    annotator = TableAnnotator(
-        world.annotator_view, model=model, config=annotator_config
+    pipeline = _make_pipeline(
+        world.annotator_view,
+        model=model,
+        annotator_config=annotator_config,
+        pipeline_config=pipeline_config,
     )
-    for labeled in tables:
-        annotator.annotate(labeled.table)
-    timings = annotator.timings
-    totals = [timing.total_seconds for timing in timings]
-    candidate_total = sum(timing.candidate_seconds for timing in timings)
-    inference_total = sum(timing.inference_seconds for timing in timings)
-    grand_total = sum(totals) or 1.0
+    pipeline.annotate_corpus(tables)
+    report = pipeline.last_report
+    totals = report.per_table_seconds
+    grand_total = report.total_seconds or 1.0
+    cache = report.cache
     return TimingReport(
-        n_tables=len(timings),
-        mean_seconds=statistics.fmean(totals) if totals else 0.0,
-        median_seconds=statistics.median(totals) if totals else 0.0,
-        p90_seconds=(
-            sorted(totals)[int(0.9 * (len(totals) - 1))] if totals else 0.0
-        ),
-        candidate_fraction=candidate_total / grand_total,
-        inference_fraction=inference_total / grand_total,
+        n_tables=report.n_tables,
+        mean_seconds=report.mean_seconds,
+        median_seconds=report.median_seconds,
+        p90_seconds=report.p90_seconds,
+        candidate_fraction=report.candidate_seconds / grand_total,
+        inference_fraction=report.inference_seconds / grand_total,
         per_table_seconds=totals,
+        wall_seconds=report.wall_seconds,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0,
+        cache_hit_rate=cache.hit_rate if cache else 0.0,
     )
 
 
@@ -280,17 +315,18 @@ def build_annotated_index(
     corpus_tables: list[LabeledTable],
     model: AnnotationModel,
     annotator_config: AnnotatorConfig | None = None,
+    pipeline_config: PipelineConfig | None = None,
 ) -> AnnotatedTableIndex:
     """Annotate a corpus with the collective model and index it."""
-    annotator = TableAnnotator(
-        world.annotator_view, model=model, config=annotator_config
+    pipeline = _make_pipeline(
+        world.annotator_view,
+        model=model,
+        annotator_config=annotator_config,
+        pipeline_config=pipeline_config,
     )
-    index = AnnotatedTableIndex(catalog=world.annotator_view)
-    for labeled in corpus_tables:
-        annotation = annotator.annotate(labeled.table)
-        index.add_table(labeled.table, annotation)
-    index.freeze()
-    return index
+    return AnnotatedTableIndex.from_corpus(
+        world.annotator_view, corpus_tables, pipeline=pipeline
+    )
 
 
 def search_map_experiment(
@@ -342,7 +378,9 @@ def candidate_statistics(
     The paper reports ~7-8 candidate entities per cell and hundreds of
     candidate types per column on YAGO scale.
     """
-    annotator = TableAnnotator(world.annotator_view, config=annotator_config)
+    annotator = _make_pipeline(
+        world.annotator_view, annotator_config=annotator_config
+    ).annotator
     totals = {
         "cells_with_candidates": 0.0,
         "avg_entity_candidates": 0.0,

@@ -1,0 +1,42 @@
+"""Corpus-scale annotation pipeline: cache, batching, streaming I/O.
+
+This package is the single corpus-annotation entry point of the system; see
+:class:`AnnotationPipeline`.
+"""
+
+from repro.pipeline.cache import (
+    CacheStats,
+    CandidateCache,
+    CachingCandidateGenerator,
+    LRUCache,
+)
+from repro.pipeline.executor import execute_batches, iter_batches
+from repro.pipeline.io import (
+    annotation_to_dict,
+    iter_corpus_jsonl,
+    read_annotations_jsonl,
+    write_annotations_jsonl,
+)
+from repro.pipeline.pipeline import (
+    AnnotationPipeline,
+    BatchTiming,
+    CorpusTimingReport,
+    PipelineConfig,
+)
+
+__all__ = [
+    "AnnotationPipeline",
+    "BatchTiming",
+    "CacheStats",
+    "CandidateCache",
+    "CachingCandidateGenerator",
+    "CorpusTimingReport",
+    "LRUCache",
+    "PipelineConfig",
+    "annotation_to_dict",
+    "execute_batches",
+    "iter_batches",
+    "iter_corpus_jsonl",
+    "read_annotations_jsonl",
+    "write_annotations_jsonl",
+]

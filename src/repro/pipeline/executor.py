@@ -1,0 +1,70 @@
+"""Batched execution strategies for the annotation pipeline.
+
+Tables are chunked into fixed-size batches and each batch is annotated as one
+unit of work.  Two executors exist:
+
+* **serial** — batches run inline, one after another (the default; zero
+  threading overhead, easiest to reason about), and
+* **thread** — batches run on a bounded :class:`ThreadPoolExecutor`.  NumPy
+  releases the GIL inside the dense factor-potential and message-passing
+  kernels, so threads overlap real work; a process pool is deliberately not
+  offered because the catalog + lemma index would have to be re-pickled into
+  every worker and the shared candidate cache would stop being shared.
+
+Whatever the executor, results stream back **in submission order** — callers
+observe exactly the sequence a serial loop would have produced — and at most
+``2 × max_workers`` batches are in flight, so corpora never materialise in
+memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+EXECUTORS = ("serial", "thread")
+
+
+def iter_batches(items: Iterable[ItemT], batch_size: int) -> Iterator[list[ItemT]]:
+    """Chunk ``items`` into lists of at most ``batch_size`` (lazily)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    batch: list[ItemT] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def execute_batches(
+    batches: Iterable[list[ItemT]],
+    worker: Callable[[list[ItemT]], ResultT],
+    max_workers: int = 1,
+) -> Iterator[ResultT]:
+    """Run ``worker`` over every batch, yielding results in batch order.
+
+    ``max_workers <= 1`` runs inline; otherwise a thread pool keeps up to
+    ``2 × max_workers`` batches in flight and yields strictly in submission
+    order, so downstream consumers see deterministic sequencing regardless of
+    which batch finishes first.
+    """
+    if max_workers <= 1:
+        for batch in batches:
+            yield worker(batch)
+        return
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        in_flight: deque = deque()
+        max_in_flight = 2 * max_workers
+        for batch in batches:
+            in_flight.append(pool.submit(worker, batch))
+            if len(in_flight) >= max_in_flight:
+                yield in_flight.popleft().result()
+        while in_flight:
+            yield in_flight.popleft().result()

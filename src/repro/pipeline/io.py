@@ -1,0 +1,80 @@
+"""Streaming corpus and annotation I/O.
+
+:func:`repro.tables.corpus.load_corpus_jsonl` materialises a whole corpus in
+memory; at the scale the paper targets (hundreds of thousands of tables) that
+is the wrong default for a one-pass annotate job.  These helpers keep both
+directions streaming: tables are parsed one JSONL line at a time and
+annotations are flushed one JSONL line at a time, so pipeline memory is
+bounded by the in-flight batches alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.core.annotation import TableAnnotation
+from repro.tables.model import LabeledTable
+
+
+def iter_corpus_jsonl(path: str | Path) -> Iterator[LabeledTable]:
+    """Lazily parse a JSONL corpus (one :class:`LabeledTable` per line)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            yield LabeledTable.from_dict(json.loads(line))
+
+
+def annotation_to_dict(annotation: TableAnnotation) -> dict:
+    """JSON-friendly view of one annotation (stable key order)."""
+    return {
+        "table_id": annotation.table_id,
+        "cells": {
+            f"{row},{column}": cell.entity_id
+            for (row, column), cell in sorted(annotation.cells.items())
+        },
+        "columns": {
+            str(column): ann.type_id
+            for column, ann in sorted(annotation.columns.items())
+        },
+        "relations": {
+            f"{left},{right}": relation.label
+            for (left, right), relation in sorted(annotation.relations.items())
+        },
+    }
+
+
+def write_annotations_jsonl(
+    annotations: Iterable[TableAnnotation | dict], handle: IO[str]
+) -> int:
+    """Write annotations to an open text handle, one JSON object per line.
+
+    Accepts :class:`TableAnnotation` objects or pre-converted dicts; returns
+    the number of lines written.  Taking a handle (not a path) lets callers
+    stream to stdout as easily as to a file.
+    """
+    written = 0
+    for annotation in annotations:
+        payload = (
+            annotation
+            if isinstance(annotation, dict)
+            else annotation_to_dict(annotation)
+        )
+        handle.write(json.dumps(payload, ensure_ascii=False))
+        handle.write("\n")
+        written += 1
+    return written
+
+
+def read_annotations_jsonl(path: str | Path) -> Iterator[dict]:
+    """Lazily parse an annotations JSONL file written by the pipeline."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

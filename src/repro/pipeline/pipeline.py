@@ -1,0 +1,299 @@
+"""Corpus-scale annotation: one entry point for every corpus loop.
+
+The seed code annotated corpora by looping ``TableAnnotator.annotate(table)``
+— no sharing between tables, no parallelism, whole corpus in memory.
+:class:`AnnotationPipeline` replaces that loop everywhere (CLI, experiment
+runners, search-index construction) with:
+
+* a **shared candidate cache** (:mod:`repro.pipeline.cache`): repeated cell
+  strings across the corpus probe the lemma index once,
+* **batched execution** (:mod:`repro.pipeline.executor`): tables are chunked
+  and optionally annotated on a thread pool, with results streamed back in
+  deterministic corpus order,
+* **streaming I/O** (:mod:`repro.pipeline.io`): JSONL in, JSONL out, bounded
+  memory, and
+* **aggregate timing** extending the per-table
+  :class:`~repro.core.annotator.AnnotationTiming` records with per-batch and
+  corpus-level rollups plus cache hit-rates — the Figure-7 instrumentation
+  at corpus scale.
+
+Parallel and serial execution produce identical annotations: each table's
+annotation is a pure function of (table, catalog, model), and the cache only
+memoises a pure function of the cell text.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.catalog.catalog import Catalog
+from repro.core.annotation import TableAnnotation
+from repro.core.annotator import AnnotationTiming, AnnotatorConfig, TableAnnotator
+from repro.core.model import AnnotationModel
+from repro.pipeline.cache import (
+    CacheStats,
+    CandidateCache,
+    CachingCandidateGenerator,
+    LRUCache,
+)
+from repro.pipeline.executor import execute_batches, iter_batches
+from repro.pipeline.io import (
+    annotation_to_dict,
+    iter_corpus_jsonl,
+    write_annotations_jsonl,
+)
+from repro.tables.model import LabeledTable, Table
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of corpus-scale annotation.
+
+    ``workers=1`` runs batches inline; ``workers>1`` uses a thread pool.
+    ``cache_size=0`` disables the shared candidate cache (every cell probes
+    the lemma index, as the seed code did).
+    """
+
+    batch_size: int = 16
+    workers: int = 1
+    cache_size: int = 100_000
+    annotator: AnnotatorConfig = field(default_factory=AnnotatorConfig)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+
+
+@dataclass
+class BatchTiming:
+    """Rollup of one batch of annotations."""
+
+    batch_index: int
+    n_tables: int
+    #: wall-clock of the batch as one unit of work (overlaps other batches
+    #: when running threaded)
+    wall_seconds: float
+    total_seconds: float
+    candidate_seconds: float
+    inference_seconds: float
+
+
+@dataclass
+class CorpusTimingReport:
+    """Figure-7 timing at corpus scale, plus cache accounting.
+
+    Aggregates the per-table :class:`AnnotationTiming` records of one corpus
+    run.  The report is complete once the annotation stream has been fully
+    consumed (``finished`` is then True).
+    """
+
+    n_tables: int = 0
+    total_seconds: float = 0.0
+    candidate_seconds: float = 0.0
+    inference_seconds: float = 0.0
+    #: end-to-end elapsed time of the run (≤ total_seconds when threaded)
+    wall_seconds: float = 0.0
+    batches: list[BatchTiming] = field(default_factory=list)
+    per_table_seconds: list[float] = field(default_factory=list)
+    #: candidate-cache activity during this run (None when caching is disabled)
+    cache: CacheStats | None = None
+    #: feature-block-cache activity during this run (None when disabled)
+    block_cache: CacheStats | None = None
+    finished: bool = False
+
+    def record(self, timing: AnnotationTiming) -> None:
+        self.n_tables += 1
+        self.total_seconds += timing.total_seconds
+        self.candidate_seconds += timing.candidate_seconds
+        self.inference_seconds += timing.inference_seconds
+        self.per_table_seconds.append(timing.total_seconds)
+
+    # -- Figure-7 fractions -------------------------------------------------
+    @property
+    def candidate_fraction(self) -> float:
+        return self.candidate_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def inference_fraction(self) -> float:
+        return self.inference_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    # -- per-table distribution --------------------------------------------
+    @property
+    def mean_seconds(self) -> float:
+        return statistics.fmean(self.per_table_seconds) if self.per_table_seconds else 0.0
+
+    @property
+    def median_seconds(self) -> float:
+        return statistics.median(self.per_table_seconds) if self.per_table_seconds else 0.0
+
+    @property
+    def p90_seconds(self) -> float:
+        if not self.per_table_seconds:
+            return 0.0
+        ordered = sorted(self.per_table_seconds)
+        return ordered[int(0.9 * (len(ordered) - 1))]
+
+    # -- cache --------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate if self.cache else 0.0
+
+
+class AnnotationPipeline:
+    """Annotates whole corpora against one catalog.
+
+    One pipeline owns one :class:`TableAnnotator` (hence one lemma index and
+    one feature cache) plus one shared :class:`CandidateCache`; it should be
+    built once per catalog and reused across corpora, exactly like the
+    annotator it wraps.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        model: AnnotationModel | None = None,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else PipelineConfig()
+        self.annotator = TableAnnotator(
+            catalog, model=model, config=self.config.annotator
+        )
+        self.cache: CandidateCache | None = None
+        self.block_cache: LRUCache | None = None
+        if self.config.cache_size:
+            self.cache = CandidateCache(max_entries=self.config.cache_size)
+            caching = CachingCandidateGenerator(
+                self.annotator.candidate_generator, self.cache
+            )
+            # every problem built through this annotator now goes through the
+            # caches, including baseline/learner paths that reuse the annotator
+            self.annotator.candidate_generator = caching
+            self.annotator.features.generator = caching
+            self.block_cache = LRUCache(max_entries=self.config.cache_size)
+            self.annotator.features.block_cache = self.block_cache
+        self.last_report: CorpusTimingReport | None = None
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.annotator.catalog
+
+    @property
+    def model(self) -> AnnotationModel:
+        return self.annotator.model
+
+    def cache_stats(self) -> CacheStats | None:
+        """Lifetime cache counters (None when caching is disabled)."""
+        return self.cache.stats() if self.cache is not None else None
+
+    # ------------------------------------------------------------------
+    # annotation
+    # ------------------------------------------------------------------
+    def annotate(self, table: Table | LabeledTable) -> TableAnnotation:
+        """Annotate a single table (shares the pipeline's cache)."""
+        if isinstance(table, LabeledTable):
+            table = table.table
+        return self.annotator.annotate(table)
+
+    def annotate_with_tables(
+        self, tables: Iterable[Table | LabeledTable]
+    ) -> Iterator[tuple[Table, TableAnnotation]]:
+        """Stream ``(table, annotation)`` pairs in corpus order.
+
+        Tables are chunked into ``config.batch_size`` batches and executed
+        serially or on a thread pool (``config.workers``); either way pairs
+        come back in exactly the order the input iterable produced them, and
+        only ``O(workers × batch_size)`` tables are in flight at once.
+
+        Consuming the stream to the end finalises :attr:`last_report`.
+        """
+        report = CorpusTimingReport()
+        self.last_report = report
+        stats_before = self.cache_stats()
+        blocks_before = (
+            self.block_cache.stats() if self.block_cache is not None else None
+        )
+        start = time.perf_counter()
+
+        def annotate_batch(
+            batch: list[Table | LabeledTable],
+        ) -> tuple[list[tuple[Table, TableAnnotation]], float]:
+            batch_start = time.perf_counter()
+            pairs: list[tuple[Table, TableAnnotation]] = []
+            for item in batch:
+                table = item.table if isinstance(item, LabeledTable) else item
+                pairs.append((table, self.annotator.annotate(table)))
+            return pairs, time.perf_counter() - batch_start
+
+        batches = iter_batches(tables, self.config.batch_size)
+        for batch_index, (pairs, batch_wall) in enumerate(
+            execute_batches(batches, annotate_batch, self.config.workers)
+        ):
+            timings = [pair[1].diagnostics["timing"] for pair in pairs]
+            for timing in timings:
+                report.record(timing)
+            report.batches.append(
+                BatchTiming(
+                    batch_index=batch_index,
+                    n_tables=len(pairs),
+                    wall_seconds=batch_wall,
+                    total_seconds=sum(t.total_seconds for t in timings),
+                    candidate_seconds=sum(t.candidate_seconds for t in timings),
+                    inference_seconds=sum(t.inference_seconds for t in timings),
+                )
+            )
+            yield from pairs
+
+        report.wall_seconds = time.perf_counter() - start
+        stats_after = self.cache_stats()
+        if stats_before is not None and stats_after is not None:
+            report.cache = stats_after.since(stats_before)
+        if blocks_before is not None and self.block_cache is not None:
+            report.block_cache = self.block_cache.stats().since(blocks_before)
+        report.finished = True
+
+    def annotate_stream(
+        self, tables: Iterable[Table | LabeledTable]
+    ) -> Iterator[TableAnnotation]:
+        """Stream annotations in corpus order (see :meth:`annotate_with_tables`)."""
+        for _table, annotation in self.annotate_with_tables(tables):
+            yield annotation
+
+    def annotate_corpus(
+        self, tables: Iterable[Table | LabeledTable]
+    ) -> list[TableAnnotation]:
+        """Annotate a corpus and return its annotations in corpus order."""
+        return list(self.annotate_stream(tables))
+
+    # ------------------------------------------------------------------
+    # streaming corpus I/O
+    # ------------------------------------------------------------------
+    def annotate_jsonl(
+        self,
+        corpus_path: str | Path,
+        output: str | Path | IO[str],
+    ) -> CorpusTimingReport:
+        """Annotate a JSONL corpus file into a JSONL annotations stream.
+
+        Tables are read, annotated and written one batch at a time — the
+        corpus is never materialised.  ``output`` may be a path or an open
+        text handle (e.g. ``sys.stdout``).
+        """
+        annotations = (
+            annotation_to_dict(annotation)
+            for annotation in self.annotate_stream(iter_corpus_jsonl(corpus_path))
+        )
+        if hasattr(output, "write"):
+            write_annotations_jsonl(annotations, output)
+        else:
+            with Path(output).open("w", encoding="utf-8") as handle:
+                write_annotations_jsonl(annotations, handle)
+        assert self.last_report is not None
+        return self.last_report

@@ -89,6 +89,33 @@ class AnnotatedTableIndex:
             )
             self._edges_by_relation.setdefault(relation_id, []).append(edge)
 
+    @classmethod
+    def from_corpus(
+        cls,
+        catalog: Catalog,
+        tables,
+        pipeline=None,
+        model=None,
+        pipeline_config=None,
+    ) -> "AnnotatedTableIndex":
+        """Build a frozen index by annotating ``tables`` through the pipeline.
+
+        ``tables`` is any iterable of :class:`Table` / ``LabeledTable``; it is
+        consumed as a stream, so corpus-scale construction never materialises
+        the corpus.  Pass an existing :class:`~repro.pipeline.AnnotationPipeline`
+        to share its candidate cache; otherwise one is built from ``model`` /
+        ``pipeline_config``.
+        """
+        from repro.pipeline.pipeline import AnnotationPipeline
+
+        if pipeline is None:
+            pipeline = AnnotationPipeline(catalog, model=model, config=pipeline_config)
+        index = cls(catalog=catalog)
+        for table, annotation in pipeline.annotate_with_tables(tables):
+            index.add_table(table, annotation)
+        index.freeze()
+        return index
+
     def freeze(self) -> None:
         """Finalise the text indexes (idempotent)."""
         if not self._frozen:

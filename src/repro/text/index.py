@@ -11,6 +11,13 @@ Two callers:
 Documents are short strings; postings store raw term counts.  Scoring is the
 usual ``sum_t tf_q(t) * tf_d(t) * idf(t)^2`` cosine numerator with document
 length normalisation, which is all the ranking fidelity these callers need.
+
+Retrieval is the system's hottest path (the paper's Figure 7 attributes ~80%
+of annotation time to lemma-index probing), so :meth:`InvertedIndex.freeze`
+precomputes everything a query needs into flat arrays: per-token IDF values
+(previously recomputed per token per query), per-token posting arrays
+(document ids + IDF²-weighted counts) and the document norm vector.  A search
+is then one vectorised accumulate per query token.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable, Iterable
+
+import numpy as np
 
 from repro.text.tokenize import tokenize
 
@@ -43,9 +52,11 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, dict[int, int]] = {}
         self._doc_key: list[Hashable] = []
-        self._doc_norm: list[float] = []
-        self._doc_counts: list[Counter[str]] = []
         self._frozen = False
+        # filled in freeze()
+        self._idf: dict[str, float] = {}
+        self._doc_norm: np.ndarray = np.zeros(0)
+        self._token_arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -59,8 +70,6 @@ class InvertedIndex:
             return
         doc_id = len(self._doc_key)
         self._doc_key.append(key)
-        self._doc_counts.append(counts)
-        self._doc_norm.append(0.0)  # filled in freeze()
         for token, count in counts.items():
             self._postings.setdefault(token, {})[doc_id] = count
 
@@ -69,14 +78,30 @@ class InvertedIndex:
             self.add(key, text)
 
     def freeze(self) -> None:
-        """Finalise IDF statistics and document norms (idempotent)."""
+        """Precompute IDF values, posting arrays and document norms (idempotent).
+
+        After freezing, :meth:`search` touches only flat arrays: per token a
+        ``(doc_ids, idf²·count)`` pair, plus one norm per document.
+        """
         if self._frozen:
             return
-        for doc_id, counts in enumerate(self._doc_counts):
-            norm = math.sqrt(
-                sum((count * self.idf(token)) ** 2 for token, count in counts.items())
+        n_docs = len(self._doc_key)
+        self._idf = {
+            token: 1.0 + math.log((n_docs + 1) / (len(postings) + 1))
+            for token, postings in self._postings.items()
+        }
+        norms_squared = np.zeros(n_docs)
+        for token, postings in self._postings.items():
+            token_idf = self._idf[token]
+            doc_ids = np.fromiter(postings.keys(), dtype=np.intp, count=len(postings))
+            counts = np.fromiter(
+                postings.values(), dtype=np.float64, count=len(postings)
             )
-            self._doc_norm[doc_id] = norm if norm > 0 else 1.0
+            norms_squared[doc_ids] += (counts * token_idf) ** 2
+            self._token_arrays[token] = (doc_ids, counts * token_idf * token_idf)
+        norms = np.sqrt(norms_squared)
+        norms[norms == 0.0] = 1.0
+        self._doc_norm = norms
         self._frozen = True
 
     # ------------------------------------------------------------------
@@ -90,6 +115,9 @@ class InvertedIndex:
         return len(self._postings.get(token, ()))
 
     def idf(self, token: str) -> float:
+        cached = self._idf.get(token)
+        if cached is not None:
+            return cached
         return 1.0 + math.log(
             (len(self._doc_key) + 1) / (self.document_frequency(token) + 1)
         )
@@ -108,29 +136,45 @@ class InvertedIndex:
         query_counts = Counter(tokenize(query))
         if not query_counts:
             return []
-        scores: dict[int, float] = {}
+        scores = np.zeros(len(self._doc_key))
+        matched = False
         for token, query_count in query_counts.items():
-            postings = self._postings.get(token)
-            if not postings:
+            entry = self._token_arrays.get(token)
+            if entry is None:
                 continue
-            token_idf = self.idf(token)
-            weight = query_count * token_idf * token_idf
-            for doc_id, doc_count in postings.items():
-                scores[doc_id] = scores.get(doc_id, 0.0) + weight * doc_count
-        if not scores:
+            matched = True
+            doc_ids, weighted_counts = entry
+            scores[doc_ids] += query_count * weighted_counts
+        if not matched:
             return []
+        hit_ids = np.flatnonzero(scores)
+        normalised = scores[hit_ids] / self._doc_norm[hit_ids]
         by_key: dict[Hashable, float] = {}
-        for doc_id, score in scores.items():
-            normalised = score / self._doc_norm[doc_id]
+        for doc_id, score in zip(hit_ids.tolist(), normalised.tolist()):
             key = self._doc_key[doc_id]
-            if normalised > by_key.get(key, 0.0):
-                by_key[key] = normalised
+            if score > by_key.get(key, 0.0):
+                by_key[key] = score
         top = heapq.nlargest(
             top_k, by_key.items(), key=lambda item: (item[1], str(item[0]))
         )
         return [IndexHit(key=key, score=score) for key, score in top]
 
     def keys_with_token(self, token: str) -> set[Hashable]:
-        """All keys whose documents contain ``token`` (exact, lower-cased)."""
-        postings = self._postings.get(token.lower(), {})
-        return {self._doc_key[doc_id] for doc_id in postings}
+        """All keys whose documents contain ``token``.
+
+        The argument is normalised with the same :func:`tokenize` used when
+        documents were indexed (so ``"Einstein!"`` matches the indexed token
+        ``einstein``); multi-token input returns keys containing *all* of the
+        tokens.
+        """
+        tokens = tokenize(token)
+        if not tokens:
+            return set()
+        keys: set[Hashable] | None = None
+        for tok in tokens:
+            postings = self._postings.get(tok, {})
+            holders = {self._doc_key[doc_id] for doc_id in postings}
+            keys = holders if keys is None else keys & holders
+            if not keys:
+                return set()
+        return keys

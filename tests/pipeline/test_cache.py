@@ -1,0 +1,107 @@
+"""Tests for the LRU caches and the caching candidate generator."""
+
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+from repro.pipeline.cache import (
+    CacheStats,
+    CandidateCache,
+    CachingCandidateGenerator,
+    LRUCache,
+)
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", [1])
+        assert cache.get("a") == [1]
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b is now least recently used
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_size_bound_holds(self):
+        cache = LRUCache(max_entries=3)
+        for i in range(10):
+            cache.put(i, i + 1)
+        assert len(cache) == 3
+
+    def test_none_not_storable(self):
+        cache = LRUCache()
+        with pytest.raises(ValueError):
+            cache.put("k", None)
+
+    def test_empty_list_is_storable(self):
+        # cells with no candidates cache an empty list; must count as a hit
+        cache = LRUCache()
+        cache.put("k", [])
+        assert cache.get("k") == []
+        assert cache.stats().hits == 1
+
+    def test_clear(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+
+    def test_stats_since(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        cache.get("a")
+        before = cache.stats()
+        cache.get("a")
+        cache.get("b")
+        delta = cache.stats().since(before)
+        assert (delta.hits, delta.misses) == (1, 1)
+        assert delta.lookups == 2
+
+
+class TestCachingCandidateGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self, tiny_world):
+        return CandidateGenerator(tiny_world.annotator_view)
+
+    def test_results_identical_to_wrapped(self, generator, tiny_world):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        entity = next(iter(tiny_world.annotator_view.entities.all_entities()))
+        text = entity.lemmas[0]
+        assert caching.cell_candidates(text) == generator.cell_candidates(text)
+        # second lookup serves from cache, still identical
+        assert caching.cell_candidates(text) == generator.cell_candidates(text)
+        assert caching.cache.stats().hits == 1
+
+    def test_numeric_and_blank_bypass_cache(self, generator):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        assert caching.cell_candidates("") == []
+        assert caching.cell_candidates("  42.5 ") == []
+        assert caching.cache.stats().lookups == 0
+
+    def test_unmatched_text_cached_as_empty(self, generator):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        assert caching.cell_candidates("zzz qqq xyzzy") == []
+        assert caching.cell_candidates("zzz qqq xyzzy") == []
+        stats = caching.cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_delegates_everything_else(self, generator):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        assert caching.catalog is generator.catalog
+        assert caching.top_k_entities == generator.top_k_entities
+        assert caching.lemma_tfidf is generator.lemma_tfidf
+        assert caching.column_type_candidates([[]]) == []

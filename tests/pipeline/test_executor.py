@@ -1,0 +1,90 @@
+"""Tests for batched execution: chunking, ordering, parallelism."""
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.executor import execute_batches, iter_batches
+
+
+class TestIterBatches:
+    def test_chunks_evenly(self):
+        assert list(iter_batches(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_ragged_tail(self):
+        assert list(iter_batches(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_empty(self):
+        assert list(iter_batches([], 3)) == []
+
+    def test_lazy(self):
+        def forever():
+            i = 0
+            while True:
+                yield i
+                i += 1
+
+        batches = iter_batches(forever(), 4)
+        assert next(batches) == [0, 1, 2, 3]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches([1], 0))
+
+
+class TestExecuteBatches:
+    def test_serial_preserves_order(self):
+        batches = iter_batches(range(10), 3)
+        results = list(execute_batches(batches, lambda b: sum(b), max_workers=1))
+        assert results == [3, 12, 21, 9]
+
+    def test_threaded_preserves_order(self):
+        # later batches finish first; results must still come back in order
+        def slow_reverse(batch):
+            time.sleep(0.02 * (4 - batch[0]))
+            return batch[0]
+
+        batches = [[i] for i in range(4)]
+        results = list(execute_batches(batches, slow_reverse, max_workers=4))
+        assert results == [0, 1, 2, 3]
+
+    def test_threaded_actually_overlaps(self):
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def worker(batch):
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            time.sleep(0.05)
+            with lock:
+                active.pop()
+            return batch
+
+        list(execute_batches([[i] for i in range(4)], worker, max_workers=4))
+        assert max(peak) > 1
+
+    def test_worker_exception_propagates(self):
+        def explode(batch):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            list(execute_batches([[1]], explode, max_workers=2))
+
+    def test_bounded_in_flight(self):
+        # an infinite batch stream must not be drained eagerly
+        consumed = []
+
+        def counting():
+            i = 0
+            while True:
+                consumed.append(i)
+                yield [i]
+                i += 1
+
+        stream = execute_batches(counting(), lambda b: b[0], max_workers=2)
+        for _ in range(3):
+            next(stream)
+        assert len(consumed) <= 3 + 2 * 2 + 1

@@ -1,0 +1,178 @@
+"""Tests for the corpus annotation pipeline.
+
+The load-bearing properties: parallel == serial == uncached (annotations are
+byte-identical however the pipeline is configured), cache accounting is
+correct, and streaming JSONL round-trips.
+"""
+
+import pytest
+
+from repro.pipeline import (
+    AnnotationPipeline,
+    PipelineConfig,
+    annotation_to_dict,
+    iter_corpus_jsonl,
+    read_annotations_jsonl,
+)
+from repro.search.table_index import AnnotatedTableIndex
+from repro.tables.corpus import TableCorpus, save_corpus_jsonl
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_tables(tiny_world):
+    generator = WebTableGenerator(
+        tiny_world.full,
+        TableGeneratorConfig(seed=31, n_tables=8, noise=NoiseProfile.WIKI),
+    )
+    return generator.generate()
+
+
+@pytest.fixture(scope="module")
+def serial_annotations(tiny_world, corpus_tables):
+    pipeline = AnnotationPipeline(
+        tiny_world.annotator_view, config=PipelineConfig(batch_size=3)
+    )
+    dicts = [annotation_to_dict(a) for a in pipeline.annotate_corpus(corpus_tables)]
+    return dicts, pipeline.last_report
+
+
+class TestDeterminism:
+    def test_parallel_identical_to_serial(
+        self, tiny_world, corpus_tables, serial_annotations
+    ):
+        serial, _ = serial_annotations
+        pipeline = AnnotationPipeline(
+            tiny_world.annotator_view,
+            config=PipelineConfig(batch_size=2, workers=4),
+        )
+        parallel = [
+            annotation_to_dict(a) for a in pipeline.annotate_corpus(corpus_tables)
+        ]
+        assert parallel == serial
+
+    def test_cached_identical_to_uncached(
+        self, tiny_world, corpus_tables, serial_annotations
+    ):
+        serial, _ = serial_annotations
+        pipeline = AnnotationPipeline(
+            tiny_world.annotator_view, config=PipelineConfig(cache_size=0)
+        )
+        uncached = [
+            annotation_to_dict(a) for a in pipeline.annotate_corpus(corpus_tables)
+        ]
+        assert uncached == serial
+
+    def test_order_matches_input(self, corpus_tables, serial_annotations):
+        serial, _ = serial_annotations
+        assert [a["table_id"] for a in serial] == [
+            labeled.table.table_id for labeled in corpus_tables
+        ]
+
+
+class TestCacheAccounting:
+    def test_first_run_misses_fill_cache(self, tiny_world, corpus_tables):
+        pipeline = AnnotationPipeline(tiny_world.annotator_view)
+        pipeline.annotate_corpus(corpus_tables)
+        report = pipeline.last_report
+        assert report.cache is not None
+        assert report.cache.misses == len(pipeline.cache)
+        assert report.cache.lookups == report.cache.hits + report.cache.misses
+
+    def test_second_run_all_hits(self, tiny_world, corpus_tables):
+        pipeline = AnnotationPipeline(tiny_world.annotator_view)
+        pipeline.annotate_corpus(corpus_tables)
+        pipeline.annotate_corpus(corpus_tables)
+        report = pipeline.last_report
+        assert report.cache.misses == 0
+        assert report.cache.hit_rate == 1.0
+        assert report.block_cache.misses == 0
+
+    def test_disabled_cache_reports_none(self, tiny_world, corpus_tables):
+        pipeline = AnnotationPipeline(
+            tiny_world.annotator_view, config=PipelineConfig(cache_size=0)
+        )
+        pipeline.annotate_corpus(corpus_tables[:2])
+        assert pipeline.cache is None
+        assert pipeline.cache_stats() is None
+        assert pipeline.last_report.cache is None
+
+
+class TestTimingReport:
+    def test_rollup_consistency(self, serial_annotations):
+        _, report = serial_annotations
+        assert report.finished
+        assert report.n_tables == 8
+        assert sum(batch.n_tables for batch in report.batches) == 8
+        assert len(report.batches) == 3  # ceil(8 / batch_size=3)
+        assert report.total_seconds == pytest.approx(
+            report.candidate_seconds + report.inference_seconds
+        )
+        assert report.candidate_fraction + report.inference_fraction == pytest.approx(
+            1.0
+        )
+        assert report.wall_seconds > 0
+        assert len(report.per_table_seconds) == 8
+        assert report.mean_seconds > 0
+        assert report.p90_seconds >= report.median_seconds
+
+
+class TestStreamingJsonl:
+    def test_round_trip(self, tiny_world, corpus_tables, serial_annotations, tmp_path):
+        serial, _ = serial_annotations
+        corpus_path = tmp_path / "corpus.jsonl"
+        save_corpus_jsonl(TableCorpus(corpus_tables), corpus_path)
+        # streaming read matches the in-memory corpus
+        streamed = list(iter_corpus_jsonl(corpus_path))
+        assert [t.table.table_id for t in streamed] == [
+            t.table.table_id for t in corpus_tables
+        ]
+        out_path = tmp_path / "annotations.jsonl"
+        pipeline = AnnotationPipeline(tiny_world.annotator_view)
+        report = pipeline.annotate_jsonl(corpus_path, out_path)
+        assert report.finished and report.n_tables == 8
+        assert list(read_annotations_jsonl(out_path)) == serial
+
+
+class TestIndexConstruction:
+    def test_from_corpus_matches_manual_build(
+        self, tiny_world, corpus_tables, serial_annotations
+    ):
+        _, _ = serial_annotations
+        pipeline = AnnotationPipeline(tiny_world.annotator_view)
+        index = AnnotatedTableIndex.from_corpus(
+            tiny_world.annotator_view, corpus_tables, pipeline=pipeline
+        )
+        manual = AnnotatedTableIndex(catalog=tiny_world.annotator_view)
+        for labeled in corpus_tables:
+            manual.add_table(
+                labeled.table, pipeline.annotator.annotate(labeled.table)
+            )
+        manual.freeze()
+        assert index.stats() == manual.stats()
+        assert set(index.tables) == set(manual.tables)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"workers": 0},
+            {"cache_size": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            PipelineConfig(**kwargs)
+
+    def test_single_table_annotate_shares_cache(self, tiny_world, corpus_tables):
+        pipeline = AnnotationPipeline(tiny_world.annotator_view)
+        first = pipeline.annotate(corpus_tables[0])
+        again = pipeline.annotate(corpus_tables[0])
+        assert annotation_to_dict(first) == annotation_to_dict(again)
+        assert pipeline.cache_stats().hits > 0

@@ -37,14 +37,14 @@ entity_labels = st.one_of(st.none(), st.from_regex(r"ent:[a-z]{1,8}", fullmatch=
 
 
 @given(tables)
-@settings(max_examples=60)
+@settings(max_examples=60, deadline=None)
 def test_table_round_trip(table):
     rebuilt = Table.from_dict(table.to_dict())
     assert rebuilt == table
 
 
 @given(tables)
-@settings(max_examples=60)
+@settings(max_examples=60, deadline=None)
 def test_iter_cells_covers_grid(table):
     cells = list(table.iter_cells())
     assert len(cells) == table.n_rows * table.n_columns
@@ -75,7 +75,7 @@ def test_iter_cells_covers_grid(table):
         max_size=4,
     ),
 )
-@settings(max_examples=60)
+@settings(max_examples=60, deadline=None)
 def test_truth_round_trip(cell_entities, column_types, relations):
     truth = TableTruth(
         cell_entities=cell_entities,
@@ -87,7 +87,7 @@ def test_truth_round_trip(cell_entities, column_types, relations):
 
 
 @given(tables)
-@settings(max_examples=40)
+@settings(max_examples=40, deadline=None)
 def test_labeled_table_round_trip(table):
     labeled = LabeledTable(
         table=table,

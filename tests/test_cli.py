@@ -79,6 +79,86 @@ class TestAnnotate:
         assert json.loads(printed)
 
 
+class TestAnnotateStreaming:
+    def test_jsonl_round_trips_with_json_output(self, world_dir, tmp_path):
+        """--jsonl streams the same annotations the JSON-array mode writes."""
+        json_output = tmp_path / "annotations.json"
+        jsonl_output = tmp_path / "annotations.jsonl"
+        base_args = [
+            "annotate",
+            "--catalog",
+            str(world_dir / "catalog_view.json"),
+            "--corpus",
+            str(world_dir / "corpus.jsonl"),
+        ]
+        assert main(base_args + ["--output", str(json_output)]) == 0
+        assert main(base_args + ["--jsonl", "--output", str(jsonl_output)]) == 0
+        as_array = json.loads(json_output.read_text())
+        as_lines = [
+            json.loads(line)
+            for line in jsonl_output.read_text().splitlines()
+            if line.strip()
+        ]
+        assert as_lines == as_array
+
+    def test_jsonl_stdout(self, world_dir, capsys):
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--jsonl",
+            ]
+        )
+        assert exit_code == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert len(lines) == 4
+        assert all("table_id" in json.loads(line) for line in lines)
+
+    def test_parallel_workers_match_serial(self, world_dir, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        threaded = tmp_path / "threaded.jsonl"
+        base_args = [
+            "annotate",
+            "--catalog",
+            str(world_dir / "catalog_view.json"),
+            "--corpus",
+            str(world_dir / "corpus.jsonl"),
+            "--jsonl",
+            "--batch-size",
+            "2",
+        ]
+        assert main(base_args + ["--output", str(serial)]) == 0
+        assert main(base_args + ["--workers", "4", "--output", str(threaded)]) == 0
+        assert serial.read_text() == threaded.read_text()
+
+
+class TestSearchIndex:
+    def test_reports_stats_and_writes_annotations(self, world_dir, tmp_path, capsys):
+        annotations = tmp_path / "annotations.jsonl"
+        exit_code = main(
+            [
+                "search-index",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--annotations",
+                str(annotations),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "tables: 4" in printed
+        assert "annotated_tables: 4" in printed
+        lines = annotations.read_text().strip().splitlines()
+        assert len(lines) == 4
+
+
 class TestTrainAndSearch:
     def test_train_then_annotate_with_model(self, world_dir, tmp_path):
         model_path = tmp_path / "model.json"

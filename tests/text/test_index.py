@@ -70,6 +70,30 @@ class TestStatistics:
         assert index.keys_with_token("Einstein") == {"e1", "e3"}
         assert index.keys_with_token("nothere") == set()
 
+    def test_keys_with_token_normalises_like_documents(self, index):
+        # regression: the raw argument used to be lower-cased only, so any
+        # input tokenize() would have rewritten (punctuation, accents around
+        # word boundaries) silently missed its postings
+        assert index.keys_with_token("Einstein!") == {"e1", "e3"}
+        assert index.keys_with_token("  EINSTEIN  ") == {"e1", "e3"}
+        assert index.keys_with_token("...") == set()
+
+    def test_keys_with_multi_token_input_intersects(self, index):
+        assert index.keys_with_token("Albert Einstein") == {"e1"}
+        assert index.keys_with_token("Albert nothere") == set()
+
+    def test_idf_precomputed_at_freeze_matches_formula(self, index):
+        import math
+
+        n_docs = index.document_count
+        for token in ("einstein", "albert", "newton"):
+            expected = 1.0 + math.log(
+                (n_docs + 1) / (index.document_frequency(token) + 1)
+            )
+            assert index.idf(token) == pytest.approx(expected)
+        # unseen tokens still get the df=0 fallback after freezing
+        assert index.idf("zzz") == pytest.approx(1.0 + math.log(n_docs + 1))
+
 
 class TestLifecycle:
     def test_add_after_freeze_rejected(self, index):
