@@ -31,6 +31,8 @@ from pathlib import Path
 
 from repro.catalog.io import load_catalog_json, save_catalog_json
 from repro.catalog.synthetic import SyntheticCatalogConfig, generate_world
+from repro.core.annotator import AnnotatorConfig
+from repro.core.inference import ENGINES
 from repro.core.model import AnnotationModel, default_model
 from repro.pipeline.io import (
     annotation_to_dict,
@@ -57,6 +59,7 @@ def _pipeline_from_args(args: argparse.Namespace) -> AnnotationPipeline:
         batch_size=args.batch_size,
         workers=args.workers,
         cache_size=args.cache_size,
+        annotator=AnnotatorConfig(engine=args.engine),
     )
     return AnnotationPipeline(catalog, model=model, config=config)
 
@@ -86,6 +89,11 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-size", type=_non_negative_int, default=100_000,
         help="candidate-cache entries (0 disables the cache)",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="batched",
+        help="inference engine: batched (vectorised, default) or scalar "
+             "(per-edge reference)",
     )
 
 

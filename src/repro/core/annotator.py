@@ -48,6 +48,9 @@ class AnnotatorConfig:
     with_relations: bool = True
     #: "paper" (Figure-11 blocks) or "flooding" (generic synchronous BP)
     schedule: str = "paper"
+    #: "batched" (vectorised block updates, default) or "scalar" (per-edge
+    #: reference engine) — see :mod:`repro.graph.compiled`
+    engine: str = "batched"
 
     def inference_config(self) -> InferenceConfig:
         return InferenceConfig(
@@ -56,6 +59,7 @@ class AnnotatorConfig:
             damping=self.damping,
             with_relations=self.with_relations,
             schedule=self.schedule,
+            engine=self.engine,
         )
 
 
@@ -99,6 +103,9 @@ class TableAnnotator:
         self.features = FeatureComputer(
             catalog, self.model.mode, self.candidate_generator
         )
+        #: optional LRU for compiled factor graphs (set by the pipeline);
+        #: lets recurring (table, model) pairs skip potential construction
+        self.compiled_cache = None
         self.timings: list[AnnotationTiming] = []
 
     # ------------------------------------------------------------------
@@ -123,7 +130,10 @@ class TableAnnotator:
         after_candidates = time.perf_counter()
         if self.config.with_relations:
             annotation = annotate_collective(
-                problem, self.model, self.config.inference_config()
+                problem,
+                self.model,
+                self.config.inference_config(),
+                compiled_cache=self.compiled_cache,
             )
         else:
             annotation = annotate_simple(problem, self.model)
@@ -157,7 +167,10 @@ class TableAnnotator:
         """Collective inference on a pre-built problem (learner fast path)."""
         if self.config.with_relations:
             return annotate_collective(
-                problem, self.model, self.config.inference_config()
+                problem,
+                self.model,
+                self.config.inference_config(),
+                compiled_cache=self.compiled_cache,
             )
         return annotate_simple(problem, self.model)
 

@@ -8,7 +8,8 @@ max-margin family (DESIGN.md section 3):
 * **averaged structured perceptron** (default) — per-table updates
   ``w += lr (Φ(y*) − Φ(ŷ))`` with the prediction ``ŷ`` obtained by
   *loss-augmented* collective inference (a Hamming cost on every variable),
-  with weight averaging across all updates, and
+  with the weight vector averaged over **every** example step (not just
+  mistake rounds), and
 * **SSVM subgradient** — the same loop with L2 shrinkage
   ``w ← (1 − lr·λ) w`` before each update (Pegasos-style margin-rescaled
   subgradient descent).
@@ -110,8 +111,13 @@ class StructuredTrainer:
             for labeled in labeled_tables
         ]
         weights = self.annotator.model.as_flat()
+        # Averaged perceptron: the average runs over the weight vector *after
+        # every example*, mistake or not.  Accumulating only on mistake rounds
+        # (and dividing by the mistake count) would weight the error-heavy
+        # early vectors far more than the settled late ones — exactly the
+        # noise averaging exists to suppress.
         weight_sum = np.zeros_like(weights)
-        n_updates = 0
+        n_steps = 0
         with_relations = self.annotator.config.with_relations
         for epoch in range(self.config.epochs):
             order = list(range(len(problems)))
@@ -128,27 +134,29 @@ class StructuredTrainer:
                     1 for name, label in gold.items() if predicted.get(name, NA) != label
                 )
                 epoch_loss += hamming
-                if hamming == 0:
-                    continue
-                gold_features = joint_feature_vector(
-                    problem, gold, with_relations=with_relations
-                )
-                predicted_features = joint_feature_vector(
-                    problem, predicted, with_relations=with_relations
-                )
-                gradient = gold_features - predicted_features
-                if self.config.method == "ssvm":
-                    weights *= 1.0 - self.config.learning_rate * self.config.regularization
-                weights = weights + self.config.learning_rate * gradient
+                if hamming:
+                    gold_features = joint_feature_vector(
+                        problem, gold, with_relations=with_relations
+                    )
+                    predicted_features = joint_feature_vector(
+                        problem, predicted, with_relations=with_relations
+                    )
+                    gradient = gold_features - predicted_features
+                    if self.config.method == "ssvm":
+                        weights *= (
+                            1.0
+                            - self.config.learning_rate * self.config.regularization
+                        )
+                    weights = weights + self.config.learning_rate * gradient
                 weight_sum += weights
-                n_updates += 1
+                n_steps += 1
             self.history.append(
                 {"epoch": float(epoch), "hamming_loss": float(epoch_loss)}
             )
             if self.config.verbose:  # pragma: no cover - console aid
                 print(f"[train] epoch {epoch}: hamming loss {epoch_loss:.0f}")
-        if self.config.averaged and n_updates:
-            final = weight_sum / n_updates
+        if self.config.averaged and n_steps:
+            final = weight_sum / n_steps
         else:
             final = weights
         trained = AnnotationModel.from_flat(final, mode=self.annotator.model.mode)

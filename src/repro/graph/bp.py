@@ -101,10 +101,17 @@ class MaxProductBP:
         key: tuple[str, str],
         message: np.ndarray,
     ) -> float:
+        """Store a freshly computed message; returns the **undamped** delta.
+
+        The convergence delta is measured against the raw recomputed message,
+        *before* damping is applied.  Measuring after damping would shrink
+        every reported change by ``(1 - damping)`` — at damping 0.9 a message
+        still moving by 10×tolerance per step would report converged.
+        """
         old = table[key]
+        delta = float(np.max(np.abs(message - old))) if old.size else 0.0
         if self.damping:
             message = self.damping * old + (1.0 - self.damping) * message
-        delta = float(np.max(np.abs(message - old))) if old.size else 0.0
         table[key] = message
         return delta
 

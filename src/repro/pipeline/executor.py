@@ -54,12 +54,19 @@ def execute_batches(
     ``2 × max_workers`` batches in flight and yields strictly in submission
     order, so downstream consumers see deterministic sequencing regardless of
     which batch finishes first.
+
+    A consumer that abandons the generator early (``break``, ``close()``,
+    garbage collection) must not block on work it will never read: the pool
+    is shut down with ``cancel_futures=True`` and without waiting, so queued
+    batches are dropped and only the batches already executing run to
+    completion in the background.
     """
     if max_workers <= 1:
         for batch in batches:
             yield worker(batch)
         return
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+    pool = ThreadPoolExecutor(max_workers=max_workers)
+    try:
         in_flight: deque = deque()
         max_in_flight = 2 * max_workers
         for batch in batches:
@@ -68,3 +75,5 @@ def execute_batches(
                 yield in_flight.popleft().result()
         while in_flight:
             yield in_flight.popleft().result()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -7,6 +7,9 @@ runners, search-index construction) with:
 
 * a **shared candidate cache** (:mod:`repro.pipeline.cache`): repeated cell
   strings across the corpus probe the lemma index once,
+* a **compiled-graph cache**: recurring tables reuse whole
+  :class:`~repro.graph.compiled.CompiledFactorGraph` instances, so the
+  batched inference engine skips potential construction and compilation,
 * **batched execution** (:mod:`repro.pipeline.executor`): tables are chunked
   and optionally annotated on a thread pool, with results streamed back in
   deterministic corpus order,
@@ -61,6 +64,10 @@ class PipelineConfig:
     batch_size: int = 16
     workers: int = 1
     cache_size: int = 100_000
+    #: entries in the compiled-factor-graph LRU (0 disables it); compiled
+    #: graphs are far heavier than feature blocks, so the bound is separate
+    #: and much smaller than ``cache_size``
+    compiled_cache_size: int = 2048
     annotator: AnnotatorConfig = field(default_factory=AnnotatorConfig)
 
     def __post_init__(self) -> None:
@@ -70,6 +77,8 @@ class PipelineConfig:
             raise ValueError("workers must be >= 1")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if self.compiled_cache_size < 0:
+            raise ValueError("compiled_cache_size must be >= 0")
 
 
 @dataclass
@@ -107,6 +116,8 @@ class CorpusTimingReport:
     cache: CacheStats | None = None
     #: feature-block-cache activity during this run (None when disabled)
     block_cache: CacheStats | None = None
+    #: compiled-factor-graph-cache activity during this run (None when disabled)
+    compiled_cache: CacheStats | None = None
     finished: bool = False
 
     def record(self, timing: AnnotationTiming) -> None:
@@ -179,6 +190,14 @@ class AnnotationPipeline:
             self.annotator.features.generator = caching
             self.block_cache = LRUCache(max_entries=self.config.cache_size)
             self.annotator.features.block_cache = self.block_cache
+        self.compiled_cache: LRUCache | None = None
+        if self.config.compiled_cache_size:
+            # recurring (table, model) pairs reuse whole compiled factor
+            # graphs — potentials and stacked blocks — across the corpus
+            self.compiled_cache = LRUCache(
+                max_entries=self.config.compiled_cache_size
+            )
+            self.annotator.compiled_cache = self.compiled_cache
         self.last_report: CorpusTimingReport | None = None
 
     @property
@@ -220,6 +239,9 @@ class AnnotationPipeline:
         blocks_before = (
             self.block_cache.stats() if self.block_cache is not None else None
         )
+        compiled_before = (
+            self.compiled_cache.stats() if self.compiled_cache is not None else None
+        )
         start = time.perf_counter()
 
         def annotate_batch(
@@ -257,6 +279,10 @@ class AnnotationPipeline:
             report.cache = stats_after.since(stats_before)
         if blocks_before is not None and self.block_cache is not None:
             report.block_cache = self.block_cache.stats().since(blocks_before)
+        if compiled_before is not None and self.compiled_cache is not None:
+            report.compiled_cache = self.compiled_cache.stats().since(
+                compiled_before
+            )
         report.finished = True
 
     def annotate_stream(

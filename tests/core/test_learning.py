@@ -96,6 +96,86 @@ class TestPerceptron:
         assert annotator.model is trained
 
 
+class TestAveraging:
+    """Hand-computed check of averaged-perceptron weight accumulation.
+
+    Two orthogonal single-cell examples, zero initial weights, lr=1,
+    loss_cost=1, 2 epochs.  Epoch 1: both examples mispredict na (the
+    Hamming bonus +1 on na beats the zero-weight entity score), each adds
+    its f1 vector — w ends at x1+x2.  Epoch 2: both predict correctly
+    (f1·w = 4 beats na's bonus 1), no updates.  The average must run over
+    all 4 example steps — (x1 + (x1+x2) + 2·(x1+x2)) / 4, i.e. components
+    {2.0, 1.5} — not over the 2 mistake rounds only, which would yield
+    {2.0, 1.0} and over-weight the noisy early vectors.
+    """
+
+    @staticmethod
+    def _single_cell_problem(table_id, text, entity_id, f1_row):
+        from repro.core.candidates import CandidateEntity
+        from repro.core.problem import CellSpace
+        from repro.tables.model import Table
+
+        table = Table(table_id=table_id, cells=[[text]])
+        space = CellSpace(
+            row=0,
+            column=0,
+            text=text,
+            candidates=[CandidateEntity(entity_id=entity_id, retrieval_score=1.0)],
+            labels=(None, entity_id),
+            f1=np.array([f1_row], dtype=float),
+        )
+        from repro.core.problem import AnnotationProblem
+
+        return AnnotationProblem(
+            table=table, cells={(0, 0): space}, columns={}, pairs={}
+        )
+
+    def test_average_runs_over_every_example_step(self):
+        from repro.core.annotator import AnnotatorConfig
+        from repro.tables.model import LabeledTable, Table, TableTruth
+
+        x1 = [2.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        x2 = [0.0, 2.0, 0.0, 0.0, 0.0, 0.0]
+        problems = {
+            "t1": self._single_cell_problem("t1", "alpha", "ent:a", x1),
+            "t2": self._single_cell_problem("t2", "beta", "ent:b", x2),
+        }
+
+        class StubAnnotator:
+            """Duck-typed TableAnnotator: fixed problems, real config."""
+
+            def __init__(self):
+                self.model = AnnotationModel()  # all-zero weights
+                self.config = AnnotatorConfig()
+
+            def build_problem(self, table):
+                return problems[table.table_id]
+
+        labeled = [
+            LabeledTable(
+                table=problems[tid].table,
+                truth=TableTruth(cell_entities={(0, 0): entity}),
+            )
+            for tid, entity in (("t1", "ent:a"), ("t2", "ent:b"))
+        ]
+        annotator = StubAnnotator()
+        trainer = StructuredTrainer(
+            annotator,
+            TrainingConfig(epochs=2, learning_rate=1.0, loss_cost=1.0, seed=0),
+        )
+        trained = trainer.train(labeled)
+
+        # epoch 1 makes 2 mistakes, epoch 2 none
+        assert trainer.history[0]["hamming_loss"] == 2.0
+        assert trainer.history[1]["hamming_loss"] == 0.0
+        # the example seen first contributes to 4 accumulated vectors, the
+        # second to 3 — shuffle decides which is which, values are symmetric
+        assert sorted(trained.w1[:2].tolist()) == [1.5, 2.0]
+        assert np.all(trained.w1[2:] == 0.0)
+        # regression: mistake-only averaging would have produced {1.0, 2.0}
+        assert 1.0 not in trained.w1[:2].tolist()
+
+
 class TestSSVM:
     def test_ssvm_trains(self, world, wiki_tables):
         annotator = TableAnnotator(world.annotator_view, model=default_model())

@@ -103,6 +103,22 @@ class TestLoopyBehaviour:
         with pytest.raises(ValueError):
             MaxProductBP(graph, damping=1.0)
 
+    def test_convergence_delta_is_undamped(self):
+        """The reported delta measures the raw message change, not the damped
+        step actually stored — otherwise damping 0.9 shrinks every reported
+        delta 10x and a still-moving schedule can fake convergence."""
+        graph = FactorGraph()
+        graph.add_variable("a", (0, 1), [3.0, 0.0])
+        graph.add_variable("b", (0, 1), [0.0, 0.0])
+        graph.add_factor("f", ("a", "b"), np.zeros((2, 2)))
+        engine = MaxProductBP(graph, damping=0.9)
+        # raw message = unary normalised = [0, -3]; old message = [0, 0]
+        delta = engine.update_var_to_factor("a", "f")
+        assert delta == pytest.approx(3.0)
+        # ... while the stored message took only the damped 10% step
+        stored = engine._var_to_factor[("a", "f")]
+        assert stored == pytest.approx([0.0, -0.3])
+
     def test_damping_still_finds_map(self):
         graph = FactorGraph()
         graph.add_variable("a", (0, 1), [1.0, 0.0])

@@ -73,6 +73,29 @@ class TestExecuteBatches:
         with pytest.raises(RuntimeError):
             list(execute_batches([[1]], explode, max_workers=2))
 
+    def test_early_break_returns_promptly(self):
+        # abandoning the stream must not block on queued batches: the pool
+        # is shut down with cancel_futures, so only batches already running
+        # when the consumer breaks can still be executing
+        started = []
+
+        def slow(batch):
+            started.append(batch[0])
+            time.sleep(0.25)
+            return batch[0]
+
+        stream = execute_batches([[i] for i in range(20)], slow, max_workers=2)
+        begin = time.perf_counter()
+        for result in stream:
+            assert result == 0
+            break
+        stream.close()
+        elapsed = time.perf_counter() - begin
+        # 20 batches x 0.25s on 2 workers would be ~2.5s if the exit waited
+        # for the queue; breaking must cost at most the in-flight batches
+        assert elapsed < 1.0
+        assert len(started) < 20
+
     def test_bounded_in_flight(self):
         # an infinite batch stream must not be drained eagerly
         consumed = []

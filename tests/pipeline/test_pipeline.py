@@ -102,6 +102,49 @@ class TestCacheAccounting:
         assert pipeline.last_report.cache is None
 
 
+class TestCompiledGraphReuse:
+    def test_repeated_tables_hit_compiled_cache(self, tiny_world, corpus_tables):
+        """A corpus that repeats its tables reuses whole compiled factor
+        graphs, and the annotations stay identical to fresh builds."""
+        fresh = AnnotationPipeline(
+            tiny_world.annotator_view,
+            config=PipelineConfig(compiled_cache_size=0),
+        )
+        baseline = [
+            annotation_to_dict(a)
+            for a in fresh.annotate_corpus(corpus_tables * 2)
+        ]
+        assert fresh.last_report.compiled_cache is None
+
+        reusing = AnnotationPipeline(tiny_world.annotator_view)
+        reused = [
+            annotation_to_dict(a)
+            for a in reusing.annotate_corpus(corpus_tables * 2)
+        ]
+        assert reused == baseline
+        stats = reusing.last_report.compiled_cache
+        # the second pass over the corpus is all hits
+        assert stats is not None
+        assert stats.hits >= len(corpus_tables)
+
+    def test_scalar_engine_through_pipeline_matches(
+        self, tiny_world, corpus_tables, serial_annotations
+    ):
+        from repro.core.annotator import AnnotatorConfig
+
+        serial, _ = serial_annotations
+        pipeline = AnnotationPipeline(
+            tiny_world.annotator_view,
+            config=PipelineConfig(
+                batch_size=3, annotator=AnnotatorConfig(engine="scalar")
+            ),
+        )
+        scalar = [
+            annotation_to_dict(a) for a in pipeline.annotate_corpus(corpus_tables)
+        ]
+        assert scalar == serial
+
+
 class TestTimingReport:
     def test_rollup_consistency(self, serial_annotations):
         _, report = serial_annotations
