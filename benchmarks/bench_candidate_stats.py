@@ -8,7 +8,7 @@ Also ablates the per-cell top-K retrieval cap from DESIGN.md decision 3.
 """
 
 from repro.core.annotator import AnnotatorConfig, TableAnnotator
-from repro.eval.experiments import candidate_statistics, evaluate_annotation
+from repro.eval.experiments import candidate_statistics
 from repro.eval.metrics import entity_accuracy
 from repro.eval.reporting import format_table
 

@@ -11,6 +11,10 @@ the whole harness runs in a few minutes.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
 from pathlib import Path
 
 import pytest
@@ -112,3 +116,42 @@ def emit():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_json():
+    """Machine-readable perf trajectory: merges sections into BENCH_<name>.json.
+
+    Each call updates one section of ``results/BENCH_<bench>.json`` in place,
+    so partial runs (``-k section``) refresh only their own numbers while the
+    rest of the trajectory file survives.  CI uploads the file as an artifact
+    and a local run is committed at the repo root — grep ``BENCH_*.json`` to
+    see the speed history.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit_json(bench: str, section: str, payload: dict) -> Path:
+        path = RESULTS_DIR / f"BENCH_{bench}.json"
+        document = {"bench": bench, "sections": {}}
+        if path.exists():
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                pass  # unreadable history: start the file over
+        document["bench"] = bench
+        document["generated_unix"] = round(time.time(), 3)
+        # run context is recorded per section: a partial run (-k) must not
+        # relabel sections that survive from an earlier full/non-smoke run
+        document.setdefault("sections", {})[section] = {
+            **payload,
+            "smoke": bool(os.environ.get("REPRO_BENCH_SMOKE")),
+            "python": platform.python_version(),
+            "recorded_unix": round(time.time(), 3),
+        }
+        path.write_text(
+            json.dumps(document, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    return _emit_json

@@ -12,7 +12,7 @@ Run with::
     python examples/movie_search_engine.py
 """
 
-from repro import AnnotatedSearcher, BaselineSearcher, RelationQuery, TrainingConfig
+from repro import AnnotatedSearcher, BaselineSearcher, TrainingConfig
 from repro.catalog.synthetic import generate_world
 from repro.eval.experiments import build_annotated_index, train_model
 from repro.eval.metrics import average_precision

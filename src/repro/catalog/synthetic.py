@@ -28,7 +28,7 @@ complete, reproducible description of a world.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog import names
 from repro.catalog.catalog import Catalog

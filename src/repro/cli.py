@@ -10,7 +10,11 @@ Commands:
 * ``search``         — answer one relational query over an annotated corpus,
 * ``search-index``   — annotate + index a corpus and report index statistics,
 * ``augment``        — mine new catalog facts from an annotated corpus and
-  optionally write the augmented catalog back out.
+  optionally write the augmented catalog back out,
+* ``bundle build`` / ``bundle info`` — serialize (and inspect) everything
+  the query path needs into a versioned artifact bundle,
+* ``serve``          — long-lived HTTP service answering ``/annotate`` and
+  ``/search`` from a prebuilt bundle (see :mod:`repro.serve`).
 
 Every corpus-scale command goes through
 :class:`~repro.pipeline.AnnotationPipeline` — the shared candidate cache,
@@ -35,8 +39,8 @@ from repro.core.annotator import AnnotatorConfig
 from repro.core.inference import ENGINES
 from repro.core.model import AnnotationModel, default_model
 from repro.pipeline.io import (
-    annotation_to_dict,
     iter_corpus_jsonl,
+    write_annotations_json_array,
     write_annotations_jsonl,
 )
 from repro.pipeline.pipeline import AnnotationPipeline, PipelineConfig
@@ -80,20 +84,26 @@ def _non_negative_int(text: str) -> int:
 
 def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workers", type=_positive_int, default=1,
+        "--workers",
+        type=_positive_int,
+        default=1,
         help="annotation worker threads (1 = serial)",
     )
     parser.add_argument(
         "--batch-size", type=_positive_int, default=16, help="tables per batch"
     )
     parser.add_argument(
-        "--cache-size", type=_non_negative_int, default=100_000,
+        "--cache-size",
+        type=_non_negative_int,
+        default=100_000,
         help="candidate-cache entries (0 disables the cache)",
     )
     parser.add_argument(
-        "--engine", choices=ENGINES, default="batched",
+        "--engine",
+        choices=ENGINES,
+        default="batched",
         help="inference engine: batched (vectorised, default) or scalar "
-             "(per-edge reference)",
+        "(per-edge reference)",
     )
 
 
@@ -136,25 +146,23 @@ def cmd_generate_world(args: argparse.Namespace) -> int:
 
 def cmd_annotate(args: argparse.Namespace) -> int:
     pipeline = _pipeline_from_args(args)
+    # both modes stream: tables are read, annotated and written one batch at
+    # a time, so memory stays bounded however large the corpus is
     if args.jsonl:
-        # streaming mode: corpus is read, annotated and written one batch at
-        # a time — memory stays bounded however large the corpus is
         if args.output:
             report = pipeline.annotate_jsonl(args.corpus, args.output)
             print(f"annotated {report.n_tables} tables -> {args.output}")
         else:
             pipeline.annotate_jsonl(args.corpus, sys.stdout)
     else:
-        annotations = [
-            annotation_to_dict(annotation)
-            for annotation in pipeline.annotate_stream(iter_corpus_jsonl(args.corpus))
-        ]
-        payload = json.dumps(annotations, indent=1)
+        annotations = pipeline.annotate_stream(iter_corpus_jsonl(args.corpus))
         if args.output:
-            Path(args.output).write_text(payload, encoding="utf-8")
-            print(f"annotated {len(annotations)} tables -> {args.output}")
+            with Path(args.output).open("w", encoding="utf-8") as handle:
+                written = write_annotations_json_array(annotations, handle)
+            print(f"annotated {written} tables -> {args.output}")
         else:
-            print(payload)
+            write_annotations_json_array(annotations, sys.stdout)
+            print()
     _print_pipeline_summary(pipeline)
     return 0
 
@@ -254,6 +262,65 @@ def cmd_search_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bundle_build(args: argparse.Namespace) -> int:
+    from repro.serve.bundle import build_bundle
+
+    pipeline = _pipeline_from_args(args)
+    manifest = build_bundle(
+        args.output,
+        pipeline.catalog,
+        iter_corpus_jsonl(args.corpus),
+        pipeline=pipeline,
+    )
+    _print_pipeline_summary(pipeline)
+    stats = manifest.stats
+    print(
+        f"bundle written to {args.output}: {stats['n_tables']} tables, "
+        f"{len(manifest.files)} files, annotate time "
+        f"{stats['annotate_seconds']:.2f}s"
+    )
+    return 0
+
+
+def cmd_bundle_info(args: argparse.Namespace) -> int:
+    from repro.serve.bundle import read_manifest, verify_bundle
+
+    manifest = read_manifest(args.bundle)
+    if args.verify:
+        verify_bundle(args.bundle, manifest)
+        print("integrity: all file hashes match")
+    print(json.dumps(manifest.to_dict(), indent=1))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pipeline.pipeline import PipelineConfig
+    from repro.serve.bundle import load_bundle
+    from repro.serve.server import create_server, run_server
+    from repro.serve.state import ServeState
+
+    bundle = load_bundle(args.bundle, verify=not args.no_verify)
+    config = PipelineConfig(
+        cache_size=args.cache_size,
+        annotator=AnnotatorConfig(engine=args.engine),
+    )
+    state = ServeState(
+        bundle, default_engine=args.engine, pipeline_config=config
+    )
+    server = create_server(
+        state, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving bundle {args.bundle} ({len(state.index)} tables) "
+        f"on http://{host}:{port}  (Ctrl-C to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+    run_server(server)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -342,6 +409,61 @@ def build_parser() -> argparse.ArgumentParser:
     augment.add_argument("--top-k", type=int, default=10)
     _add_pipeline_arguments(augment)
     augment.set_defaults(handler=cmd_augment)
+
+    bundle = subparsers.add_parser(
+        "bundle",
+        help="build or inspect serving artifact bundles (see `repro serve`)",
+    )
+    bundle_commands = bundle.add_subparsers(dest="bundle_command", required=True)
+    bundle_build = bundle_commands.add_parser(
+        "build",
+        help="annotate a corpus and write a versioned artifact bundle",
+    )
+    bundle_build.add_argument("--catalog", required=True)
+    bundle_build.add_argument("--corpus", required=True)
+    bundle_build.add_argument("--model", default=None)
+    bundle_build.add_argument("--output", required=True, help="bundle directory")
+    _add_pipeline_arguments(bundle_build)
+    bundle_build.set_defaults(handler=cmd_bundle_build)
+    bundle_info = bundle_commands.add_parser(
+        "info", help="print a bundle's manifest"
+    )
+    bundle_info.add_argument("--bundle", required=True, help="bundle directory")
+    bundle_info.add_argument(
+        "--verify",
+        action="store_true",
+        help="also re-hash every file against the manifest",
+    )
+    bundle_info.set_defaults(handler=cmd_bundle_info)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve /annotate and /search over HTTP from a prebuilt bundle",
+    )
+    serve.add_argument("--bundle", required=True, help="bundle directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="batched",
+        help="default inference engine (requests may override per call)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=_non_negative_int,
+        default=100_000,
+        help="candidate-cache entries (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip manifest hash verification at load",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

@@ -16,13 +16,12 @@ respectively.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.core.annotation import TableAnnotation
 from repro.core.baselines import BaselineResult, LCAAnnotator, MajorityAnnotator
 from repro.core.candidates import CandidateGenerator
-from repro.core.features import TypeEntityFeatureMode
 from repro.core.inference import InferenceConfig, annotate_collective
 from repro.core.model import AnnotationModel, default_model
 from repro.core.problem import (
@@ -91,14 +90,22 @@ class TableAnnotator:
         catalog: Catalog,
         model: AnnotationModel | None = None,
         config: AnnotatorConfig | None = None,
+        candidate_generator: CandidateGenerator | None = None,
     ) -> None:
         self.catalog = catalog
         self.model = model if model is not None else default_model()
         self.config = config if config is not None else AnnotatorConfig()
-        self.candidate_generator = CandidateGenerator(
-            catalog,
-            top_k_entities=self.config.top_k_entities,
-            max_type_candidates=self.config.max_type_candidates,
+        # a prebuilt generator skips the lemma-index build — the serving
+        # layer passes one loaded straight from an artifact bundle, and
+        # per-engine pipelines share one generator (hence one lemma index)
+        self.candidate_generator = (
+            candidate_generator
+            if candidate_generator is not None
+            else CandidateGenerator(
+                catalog,
+                top_k_entities=self.config.top_k_entities,
+                max_type_candidates=self.config.max_type_candidates,
+            )
         )
         self.features = FeatureComputer(
             catalog, self.model.mode, self.candidate_generator

@@ -44,6 +44,10 @@ class CandidateGenerator:
         max_type_candidates: Cap on ``|Tc|``; candidate types are ranked by
             how many of the column's candidate entities they cover (then by
             specificity), so the cap trims only rarely-supported types.
+        lemma_index: A prebuilt frozen lemma index (artifact-bundle load
+            path); built from the catalog's lemmas when ``None``.
+        lemma_tfidf: The prebuilt TF-IDF table matching ``lemma_index``;
+            must be given exactly when ``lemma_index`` is.
     """
 
     def __init__(
@@ -51,22 +55,35 @@ class CandidateGenerator:
         catalog: Catalog,
         top_k_entities: int = 8,
         max_type_candidates: int = 64,
+        lemma_index: InvertedIndex | None = None,
+        lemma_tfidf: TfidfWeights | None = None,
     ) -> None:
         if top_k_entities < 1:
             raise ValueError("top_k_entities must be >= 1")
         if max_type_candidates < 1:
             raise ValueError("max_type_candidates must be >= 1")
+        if (lemma_index is None) != (lemma_tfidf is None):
+            raise ValueError("lemma_index and lemma_tfidf must be given together")
         self.catalog = catalog
         self.top_k_entities = top_k_entities
         self.max_type_candidates = max_type_candidates
-        self._index = InvertedIndex()
-        lemma_documents: list[str] = []
-        for entity in catalog.entities.all_entities():
-            for lemma in entity.lemmas:
-                self._index.add(entity.entity_id, lemma)
-                lemma_documents.append(lemma)
-        self._index.freeze()
-        self.lemma_tfidf = TfidfWeights.from_documents(lemma_documents)
+        if lemma_index is not None and lemma_tfidf is not None:
+            self._index = lemma_index
+            self.lemma_tfidf = lemma_tfidf
+        else:
+            self._index = InvertedIndex()
+            lemma_documents: list[str] = []
+            for entity in catalog.entities.all_entities():
+                for lemma in entity.lemmas:
+                    self._index.add(entity.entity_id, lemma)
+                    lemma_documents.append(lemma)
+            self._index.freeze()
+            self.lemma_tfidf = TfidfWeights.from_documents(lemma_documents)
+
+    @property
+    def lemma_index(self) -> InvertedIndex:
+        """The frozen lemma index (exported into artifact bundles)."""
+        return self._index
 
     # ------------------------------------------------------------------
     # Erc

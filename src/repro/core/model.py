@@ -11,6 +11,7 @@ training; :mod:`repro.core.learning` replaces them with trained values.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -129,6 +130,15 @@ class AnnotationModel:
             kwargs[name] = np.array([entries[feature] for feature in feature_names])
         return cls(**kwargs)
 
+    def fingerprint(self) -> str:
+        """Content hash of the weights + mode (stable across processes).
+
+        Artifact bundles record this in their manifest so a served model can
+        be traced back to (and checked against) the training artifact.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def save(self, path: str | Path) -> None:
         Path(path).write_text(
             json.dumps(self.to_dict(), indent=1), encoding="utf-8"
@@ -158,6 +168,8 @@ def default_model(
     biases negative (concrete labels must *earn* their score), functionality
     violations negative.
     """
+    # the value columns line up with the per-weight comments
+    # fmt: off
     return AnnotationModel(
         #            cosine soft  jac   dice  exact bias
         w1=np.array([2.0,   1.0,  0.5,  0.5,  1.0,  -1.6]),
@@ -170,3 +182,4 @@ def default_model(
         w5=np.array([2.0,   -1.0]),
         mode=mode,
     )
+    # fmt: on

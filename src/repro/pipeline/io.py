@@ -14,7 +14,12 @@ import json
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
-from repro.core.annotation import TableAnnotation
+from repro.core.annotation import (
+    CellAnnotation,
+    ColumnAnnotation,
+    RelationAnnotation,
+    TableAnnotation,
+)
 from repro.tables.model import LabeledTable
 
 
@@ -46,6 +51,75 @@ def annotation_to_dict(annotation: TableAnnotation) -> dict:
             for (left, right), relation in sorted(annotation.relations.items())
         },
     }
+
+
+def annotation_to_payload(annotation: TableAnnotation) -> dict:
+    """Full-fidelity JSON view of one annotation (labels *and* scores).
+
+    :func:`annotation_to_dict` is the compact user-facing shape; this one is
+    what artifact bundles persist, so a bundle-loaded index carries exactly
+    the annotation objects a fresh corpus run would have produced (inference
+    diagnostics excepted — they describe the producing process, not the
+    annotation).  Round-trips through :func:`annotation_from_payload`.
+    """
+    return {
+        "table_id": annotation.table_id,
+        "cells": [
+            [row, column, cell.entity_id, cell.score]
+            for (row, column), cell in sorted(annotation.cells.items())
+        ],
+        "columns": [
+            [column, ann.type_id, ann.score]
+            for column, ann in sorted(annotation.columns.items())
+        ],
+        "relations": [
+            [left, right, relation.label, relation.score]
+            for (left, right), relation in sorted(annotation.relations.items())
+        ],
+    }
+
+
+def annotation_from_payload(payload: dict) -> TableAnnotation:
+    """Inverse of :func:`annotation_to_payload`."""
+    annotation = TableAnnotation(table_id=payload["table_id"])
+    for row, column, entity_id, score in payload["cells"]:
+        annotation.cells[(row, column)] = CellAnnotation(
+            row=row, column=column, entity_id=entity_id, score=score
+        )
+    for column, type_id, score in payload["columns"]:
+        annotation.columns[column] = ColumnAnnotation(
+            column=column, type_id=type_id, score=score
+        )
+    for left, right, label, score in payload["relations"]:
+        annotation.relations[(left, right)] = RelationAnnotation(
+            left_column=left, right_column=right, label=label, score=score
+        )
+    return annotation
+
+
+def write_annotations_json_array(
+    annotations: Iterable[TableAnnotation | dict], handle: IO[str]
+) -> int:
+    """Stream annotations to ``handle`` as one JSON array, one table at a time.
+
+    Produces byte-identical output to ``json.dumps(list_of_dicts, indent=1)``
+    without ever materialising the list — the CLI's whole-corpus JSON mode
+    uses this so resident memory stays bounded by a single annotation.
+    Returns the number of elements written.
+    """
+    written = 0
+    for annotation in annotations:
+        payload = (
+            annotation
+            if isinstance(annotation, dict)
+            else annotation_to_dict(annotation)
+        )
+        handle.write("[\n" if written == 0 else ",\n")
+        block = json.dumps(payload, indent=1)
+        handle.write(" " + block.replace("\n", "\n "))
+        written += 1
+    handle.write("[]" if written == 0 else "\n]")
+    return written
 
 
 def write_annotations_jsonl(

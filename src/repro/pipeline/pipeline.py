@@ -172,10 +172,14 @@ class AnnotationPipeline:
         catalog: Catalog,
         model: AnnotationModel | None = None,
         config: PipelineConfig | None = None,
+        candidate_generator=None,
     ) -> None:
         self.config = config if config is not None else PipelineConfig()
         self.annotator = TableAnnotator(
-            catalog, model=model, config=self.config.annotator
+            catalog,
+            model=model,
+            config=self.config.annotator,
+            candidate_generator=candidate_generator,
         )
         self.cache: CandidateCache | None = None
         self.block_cache: LRUCache | None = None

@@ -44,15 +44,22 @@ class AnnotatedSearcher:
         catalog: Catalog,
         use_relations: bool = True,
         config: AnnotatedSearchConfig | None = None,
+        lemma_resolver: dict[str, str] | None = None,
     ) -> None:
         self.index = index
         self.catalog = catalog
         self.use_relations = use_relations
         self.config = config if config is not None else AnnotatedSearchConfig()
+        #: optional prebuilt lemma → entity mapping shared across queries
+        #: (see :func:`repro.search.ranking.build_lemma_resolver`); the
+        #: serving layer passes one so queries never pay the catalog scan
+        self.lemma_resolver = lemma_resolver
 
     # ------------------------------------------------------------------
     def search(self, query: RelationQuery) -> SearchResponse:
-        accumulator = EvidenceAccumulator(self.catalog)
+        accumulator = EvidenceAccumulator(
+            self.catalog, lemma_resolver=self.lemma_resolver
+        )
         for table_id, answer_column, given_column in self._candidate_column_pairs(
             query
         ):

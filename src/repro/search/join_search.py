@@ -77,12 +77,15 @@ class JoinSearcher:
         catalog: Catalog,
         max_middle: int = 10,
         top_k_answers: int = 50,
+        lemma_resolver: dict[str, str] | None = None,
     ) -> None:
         self.index = index
         self.catalog = catalog
         self.max_middle = max_middle
         self.top_k_answers = top_k_answers
-        self._hop_searcher = AnnotatedSearcher(index, catalog, use_relations=True)
+        self._hop_searcher = AnnotatedSearcher(
+            index, catalog, use_relations=True, lemma_resolver=lemma_resolver
+        )
 
     def search(self, query: JoinQuery) -> SearchResponse:
         # Hop 2 first: middle entities e2 with R2(e2, E3).

@@ -51,13 +51,42 @@ class SearchResponse:
         return keys
 
 
+def build_lemma_resolver(catalog: Catalog) -> dict[str, str]:
+    """Folded lemma → entity id, for lemmas naming exactly one entity.
+
+    One accumulator builds this lazily per query; long-lived callers (the
+    serving layer) precompute it once per catalog and hand the same immutable
+    mapping to every request's accumulator — catalog-sized work leaves the
+    per-query path entirely.
+    """
+    mapping: dict[str, str | None] = {}
+    for entity in catalog.entities.all_entities():
+        for lemma in entity.lemmas:
+            folded = normalize_text(lemma).lower()
+            if folded in mapping and mapping[folded] != entity.entity_id:
+                mapping[folded] = None  # ambiguous lemma: do not resolve
+            else:
+                mapping.setdefault(folded, entity.entity_id)
+    return {
+        lemma: entity_id
+        for lemma, entity_id in mapping.items()
+        if entity_id is not None
+    }
+
+
 class EvidenceAccumulator:
     """Collects per-row hits and produces the ranked response."""
 
-    def __init__(self, catalog: Catalog, resolve_strings_to_entities: bool = True) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        resolve_strings_to_entities: bool = True,
+        lemma_resolver: dict[str, str] | None = None,
+    ) -> None:
         """``resolve_strings_to_entities=False`` keeps string evidence as
         strings (the Figure-3 baseline presents raw cell contents and never
-        touches the catalog)."""
+        touches the catalog); ``lemma_resolver`` injects a prebuilt
+        :func:`build_lemma_resolver` mapping (otherwise built lazily)."""
         self._catalog = catalog
         self._resolve = resolve_strings_to_entities
         self._entity_scores: dict[str, float] = {}
@@ -65,7 +94,7 @@ class EvidenceAccumulator:
         self._string_scores: dict[str, float] = {}
         self._string_display: dict[str, str] = {}
         self._string_tables: dict[str, set[str]] = {}
-        self._lemma_to_entity: dict[str, str] | None = None
+        self._lemma_to_entity: dict[str, str] | None = lemma_resolver
         self.rows_matched = 0
         self.tables_considered = 0
 
@@ -94,19 +123,7 @@ class EvidenceAccumulator:
     def _resolve_lemma(self, key: str) -> str | None:
         """Entity whose lemma exactly matches ``key``, if unambiguous."""
         if self._lemma_to_entity is None:
-            mapping: dict[str, str | None] = {}
-            for entity in self._catalog.entities.all_entities():
-                for lemma in entity.lemmas:
-                    folded = normalize_text(lemma).lower()
-                    if folded in mapping and mapping[folded] != entity.entity_id:
-                        mapping[folded] = None  # ambiguous lemma: do not resolve
-                    else:
-                        mapping.setdefault(folded, entity.entity_id)
-            self._lemma_to_entity = {
-                lemma: entity_id
-                for lemma, entity_id in mapping.items()
-                if entity_id is not None
-            }
+            self._lemma_to_entity = build_lemma_resolver(self._catalog)
         return self._lemma_to_entity.get(key)
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ Type lookups expand through the catalog's subtype DAG: a column annotated
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.catalog.catalog import Catalog
 from repro.core.annotation import TableAnnotation
@@ -63,25 +64,30 @@ class AnnotatedTableIndex:
                     self._header_index.add((table.table_id, column), header)
         if table.context:
             self._context_index.add(table.table_id, table.context)
-        if annotation is None:
-            return
-        self.annotations[table.table_id] = annotation
+        if annotation is not None:
+            self._register_annotation(table.table_id, annotation)
+
+    def _register_annotation(
+        self, table_id: str, annotation: TableAnnotation
+    ) -> None:
+        """Populate the semantic maps for one table's annotation."""
+        self.annotations[table_id] = annotation
         for column, column_annotation in annotation.columns.items():
             if column_annotation.type_id is not None:
                 self._columns_by_type.setdefault(
                     column_annotation.type_id, []
-                ).append((table.table_id, column))
+                ).append((table_id, column))
         for (row, column), cell in annotation.cells.items():
             if cell.entity_id is not None:
                 self._cells_by_entity.setdefault(cell.entity_id, []).append(
-                    (table.table_id, row, column)
+                    (table_id, row, column)
                 )
         for (left, right), relation in annotation.relations.items():
             if relation.label is None:
                 continue
             relation_id, reverse = base_relation(relation.label)
             edge = RelationEdge(
-                table_id=table.table_id,
+                table_id=table_id,
                 subject_column=right if reverse else left,
                 object_column=left if reverse else right,
                 relation_id=relation_id,
@@ -115,6 +121,42 @@ class AnnotatedTableIndex:
             index.add_table(table, annotation)
         index.freeze()
         return index
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        catalog: Catalog,
+        tables: Iterable[Table],
+        annotations: dict[str, TableAnnotation],
+        header_index: InvertedIndex,
+        context_index: InvertedIndex,
+    ) -> "AnnotatedTableIndex":
+        """Restore a frozen index from pre-serialized parts (bundle load path).
+
+        The text indexes arrive already frozen (array-backed, see
+        :meth:`repro.text.index.InvertedIndex.from_state`) and the semantic
+        maps are rebuilt from the stored annotations in table order — no
+        re-annotation, no re-tokenisation, no ``freeze()`` recomputation.
+        The result is indistinguishable from :meth:`from_corpus` on the same
+        corpus (covered by bundle round-trip tests).
+        """
+        index = cls(
+            catalog=catalog,
+            _header_index=header_index,
+            _context_index=context_index,
+        )
+        for table in tables:
+            index.tables[table.table_id] = table
+            annotation = annotations.get(table.table_id)
+            if annotation is not None:
+                index._register_annotation(table.table_id, annotation)
+        index._frozen = True
+        return index
+
+    def text_index_states(self) -> tuple[dict, dict]:
+        """Frozen array states of the (header, context) text indexes."""
+        self.freeze()
+        return self._header_index.to_state(), self._context_index.to_state()
 
     def freeze(self) -> None:
         """Finalise the text indexes (idempotent)."""

@@ -1,0 +1,62 @@
+"""Serving subsystem: prebuilt artifact bundles + a long-lived HTTP service.
+
+The offline/online split of the paper's deployment story:
+
+* :mod:`repro.serve.bundle` — ``build_bundle`` / ``load_bundle``: a
+  versioned on-disk format holding the catalog, trained model, frozen
+  (array-backed) text indexes and pre-computed corpus annotations, under a
+  hash-verified manifest.
+* :mod:`repro.serve.state` — :class:`ServeState`: one warm
+  ``AnnotationPipeline`` per engine plus lock-free searchers over the
+  bundle, shared by all requests.
+* :mod:`repro.serve.server` — the threaded stdlib-HTTP front end
+  (``repro serve``): ``/annotate``, ``/search``, ``/search/join``,
+  ``/healthz``, ``/metrics``.
+* :mod:`repro.serve.metrics` — request counters and latency percentiles.
+
+Quickstart::
+
+    repro bundle build --catalog view.json --corpus corpus.jsonl --output b/
+    repro serve --bundle b/ --port 8080
+    curl -s localhost:8080/healthz
+"""
+
+from repro.serve.bundle import (
+    FORMAT_VERSION,
+    BundleManifest,
+    LoadedBundle,
+    build_bundle,
+    load_bundle,
+    read_manifest,
+    verify_bundle,
+)
+from repro.serve.errors import (
+    BadRequestError,
+    BundleError,
+    BundleIntegrityError,
+    BundleVersionError,
+    ServeError,
+)
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.server import TableServer, create_server, run_server
+from repro.serve.state import ServeState
+
+__all__ = [
+    "FORMAT_VERSION",
+    "BadRequestError",
+    "BundleError",
+    "BundleIntegrityError",
+    "BundleManifest",
+    "BundleVersionError",
+    "LoadedBundle",
+    "MetricsRegistry",
+    "ServeError",
+    "ServeState",
+    "TableServer",
+    "build_bundle",
+    "create_server",
+    "load_bundle",
+    "read_manifest",
+    "run_server",
+    "verify_bundle",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy of the serving subsystem."""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for all serving-layer errors."""
+
+
+class BundleError(ServeError):
+    """An artifact bundle could not be built or loaded."""
+
+
+class BundleVersionError(BundleError):
+    """The bundle's format version is not supported by this code."""
+
+
+class BundleIntegrityError(BundleError):
+    """A bundle file is missing or its content hash does not match."""
+
+
+class BadRequestError(ServeError):
+    """A request payload is malformed or references unknown catalog ids.
+
+    The HTTP layer maps this to a 400 response with the message as the
+    ``error`` field.
+    """

@@ -1,0 +1,89 @@
+"""Request metrics for the long-lived server.
+
+One :class:`MetricsRegistry` per server.  Every handled request records
+``(endpoint, seconds, error)``; the registry keeps per-endpoint counters and
+a bounded window of recent latencies from which ``/metrics`` reports
+percentiles.  All mutation happens under one lock — the arithmetic is
+nanoseconds next to request work, so a single mutex is the entire
+concurrency story here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+def percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 for empty input)."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class EndpointMetrics:
+    """Counters plus a recent-latency window for one endpoint."""
+
+    def __init__(self, window_size: int) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.window: deque[float] = deque(maxlen=window_size)
+
+    def observe(self, seconds: float, error: bool) -> None:
+        self.requests += 1
+        self.total_seconds += seconds
+        if error:
+            self.errors += 1
+        else:
+            # error latencies are short-circuit paths; keeping them out of
+            # the window stops a burst of 400s from masking real latency
+            self.window.append(seconds)
+
+    def snapshot(self) -> dict:
+        ordered = sorted(self.window)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "total_seconds": round(self.total_seconds, 6),
+            "latency_seconds": {
+                "p50": round(percentile(ordered, 0.50), 6),
+                "p90": round(percentile(ordered, 0.90), 6),
+                "p99": round(percentile(ordered, 0.99), 6),
+                "max": round(ordered[-1], 6) if ordered else 0.0,
+                "window": len(ordered),
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe per-endpoint request accounting."""
+
+    def __init__(self, window_size: int = 2048) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self._window_size = window_size
+        self._endpoints: dict[str, EndpointMetrics] = {}
+        self._lock = threading.Lock()
+        self._started = time.time()
+
+    def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = EndpointMetrics(
+                    self._window_size
+                )
+            metrics.observe(seconds, error)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "endpoints": {
+                    endpoint: metrics.snapshot()
+                    for endpoint, metrics in sorted(self._endpoints.items())
+                },
+            }

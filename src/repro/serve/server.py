@@ -1,0 +1,159 @@
+"""Threaded stdlib-HTTP front end over :class:`~repro.serve.state.ServeState`.
+
+No third-party dependencies: :class:`http.server.ThreadingHTTPServer` gives
+one OS thread per in-flight request, which is the right shape for this
+workload — request handling is NumPy-heavy (releases the GIL in the hot
+spots) and the shared state is read-mostly (see the locking story in
+:mod:`repro.serve.state`).
+
+Endpoints::
+
+    GET  /healthz       liveness + bundle identity
+    GET  /metrics       request counts, latency percentiles, cache hit rates
+    POST /annotate      {"table": Table dict, "engine"?: "batched"|"scalar"}
+    POST /search        {"relation", "entity", "use_relations"?, "top_k"?}
+    POST /search/join   {"first_relation", "second_relation", "entity", "top_k"?}
+
+All responses are JSON.  Errors use {"error": message} with 400 (bad
+payload / unknown catalog ids), 404 (unknown path), 405 (wrong method) or
+500 (unexpected failure).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.errors import BadRequestError
+from repro.serve.state import ServeState
+
+#: reject request bodies larger than this (64 MiB) outright
+MAX_BODY_BYTES = 64 << 20
+
+
+class TableServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer carrying the shared serving state."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], state: ServeState, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.state = state
+        self.quiet = quiet
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    server: TableServer
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        state = self.server.state
+        if self.path == "/healthz":
+            self._handle("healthz", lambda: state.healthz())
+        elif self.path == "/metrics":
+            self._handle("metrics", lambda: state.metrics_snapshot())
+        elif self.path in ("/annotate", "/search", "/search/join"):
+            self._send_json(405, {"error": f"{self.path} requires POST"})
+        else:
+            self._send_json(404, {"error": f"unknown path: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        state = self.server.state
+        routes = {
+            "/annotate": ("annotate", state.annotate_payload),
+            "/search": ("search", state.search_payload),
+            "/search/join": ("search_join", state.search_join_payload),
+        }
+        route = routes.get(self.path)
+        if route is None:
+            if self.path in ("/healthz", "/metrics"):
+                self._send_json(405, {"error": f"{self.path} requires GET"})
+            else:
+                self._send_json(404, {"error": f"unknown path: {self.path}"})
+            return
+        endpoint, handler = route
+        self._handle(endpoint, lambda: handler(self._read_json_body()))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _read_json_body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise BadRequestError("invalid Content-Length header")
+        if length <= 0:
+            raise BadRequestError("request body required (JSON)")
+        if length > MAX_BODY_BYTES:
+            raise BadRequestError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise BadRequestError(f"invalid JSON body: {error}")
+        if not isinstance(payload, dict):
+            raise BadRequestError("JSON body must be an object")
+        return payload
+
+    def _handle(self, endpoint: str, run) -> None:
+        """Run one handler, recording metrics and mapping errors to JSON."""
+        metrics = self.server.state.metrics
+        start = time.perf_counter()
+        try:
+            result = run()
+        except BadRequestError as error:
+            metrics.observe(endpoint, time.perf_counter() - start, error=True)
+            self._send_json(400, {"error": str(error)})
+            return
+        except Exception as error:  # pragma: no cover - defensive surface
+            metrics.observe(endpoint, time.perf_counter() - start, error=True)
+            self._send_json(
+                500, {"error": f"{type(error).__name__}: {error}"}
+            )
+            return
+        metrics.observe(endpoint, time.perf_counter() - start, error=False)
+        self._send_json(200, result)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        if status >= 400:
+            # error paths may not have drained the request body; under
+            # HTTP/1.1 keep-alive the unread bytes would be parsed as the
+            # next request line, so drop the connection instead
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+
+def create_server(
+    state: ServeState, host: str = "127.0.0.1", port: int = 8080, quiet: bool = True
+) -> TableServer:
+    """Bind a :class:`TableServer` (``port=0`` picks a free port)."""
+    return TableServer((host, port), state, quiet=quiet)
+
+
+def run_server(server: TableServer) -> None:
+    """Serve until interrupted; always releases the socket."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

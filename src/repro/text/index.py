@@ -18,6 +18,14 @@ precomputes everything a query needs into flat arrays: per-token IDF values
 (previously recomputed per token per query), per-token posting arrays
 (document ids + IDF²-weighted counts) and the document norm vector.  A search
 is then one vectorised accumulate per query token.
+
+The frozen arrays are also the index's *serialization*:
+:meth:`InvertedIndex.to_state` exports them as flat concatenated vectors
+(tokens sorted, per-token slices described by an offsets array) and
+:meth:`InvertedIndex.from_state` rebuilds a frozen index directly from those
+arrays — no re-tokenisation, no IDF recomputation, no norm pass.  Artifact
+bundles (:mod:`repro.serve.bundle`) persist exactly this state, which is why
+a served index starts warm instead of replaying ``freeze()``.
 """
 
 from __future__ import annotations
@@ -105,6 +113,66 @@ class InvertedIndex:
         self._frozen = True
 
     # ------------------------------------------------------------------
+    # frozen-state serialization (array-backed load)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Export the frozen index as flat arrays plus key/token lists.
+
+        Freezes first if needed.  Tokens come out sorted; each token's
+        postings occupy ``[offsets[i], offsets[i + 1])`` of the concatenated
+        ``doc_ids`` / ``weights`` vectors (weights are the precomputed
+        ``idf² · count`` values used by :meth:`search`).  The export is a
+        pure function of the indexed documents, so build → export → import
+        → export round-trips to identical arrays.
+        """
+        self.freeze()
+        tokens = sorted(self._token_arrays)
+        offsets = np.zeros(len(tokens) + 1, dtype=np.int64)
+        for i, token in enumerate(tokens):
+            offsets[i + 1] = offsets[i] + len(self._token_arrays[token][0])
+        doc_ids = np.zeros(int(offsets[-1]), dtype=np.int64)
+        weights = np.zeros(int(offsets[-1]), dtype=np.float64)
+        for i, token in enumerate(tokens):
+            ids, weighted = self._token_arrays[token]
+            doc_ids[offsets[i] : offsets[i + 1]] = ids
+            weights[offsets[i] : offsets[i + 1]] = weighted
+        return {
+            "tokens": tokens,
+            "doc_keys": list(self._doc_key),
+            "offsets": offsets,
+            "doc_ids": doc_ids,
+            "weights": weights,
+            "idf": np.array([self._idf[token] for token in tokens]),
+            "doc_norm": self._doc_norm.astype(np.float64, copy=False),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "InvertedIndex":
+        """Rebuild a frozen index from :meth:`to_state` output.
+
+        Nothing is recomputed: the per-token posting arrays are zero-copy
+        slices of the (possibly memory-mapped) concatenated vectors.  The
+        returned index is frozen — :meth:`add` raises, exactly as after an
+        in-memory :meth:`freeze`.
+        """
+        index = cls()
+        offsets = np.asarray(state["offsets"])
+        doc_ids = state["doc_ids"]
+        weights = state["weights"]
+        index._doc_key = list(state["doc_keys"])
+        index._idf = dict(zip(state["tokens"], np.asarray(state["idf"]).tolist()))
+        index._token_arrays = {
+            token: (
+                doc_ids[offsets[i] : offsets[i + 1]],
+                weights[offsets[i] : offsets[i + 1]],
+            )
+            for i, token in enumerate(state["tokens"])
+        }
+        index._doc_norm = state["doc_norm"]
+        index._frozen = True
+        return index
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     @property
@@ -112,6 +180,11 @@ class InvertedIndex:
         return len(self._doc_key)
 
     def document_frequency(self, token: str) -> int:
+        if self._frozen:
+            # array-backed source of truth: a from_state() index carries no
+            # postings dicts at all
+            entry = self._token_arrays.get(token)
+            return len(entry[0]) if entry is not None else 0
         return len(self._postings.get(token, ()))
 
     def idf(self, token: str) -> float:
@@ -172,8 +245,12 @@ class InvertedIndex:
             return set()
         keys: set[Hashable] | None = None
         for tok in tokens:
-            postings = self._postings.get(tok, {})
-            holders = {self._doc_key[doc_id] for doc_id in postings}
+            if self._frozen:
+                entry = self._token_arrays.get(tok)
+                doc_ids = entry[0].tolist() if entry is not None else ()
+            else:
+                doc_ids = self._postings.get(tok, ())
+            holders = {self._doc_key[doc_id] for doc_id in doc_ids}
             keys = holders if keys is None else keys & holders
             if not keys:
                 return set()

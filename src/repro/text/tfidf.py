@@ -54,6 +54,26 @@ class TfidfWeights:
             (self._documents + 1) / (self._document_frequency.get(token, 0) + 1)
         )
 
+    # ------------------------------------------------------------------
+    # serialization (artifact bundles)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-compatible export: document count plus the df table."""
+        return {
+            "documents": self._documents,
+            "document_frequency": dict(sorted(self._document_frequency.items())),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TfidfWeights":
+        """Rebuild statistics exported by :meth:`to_state` (no re-tokenising)."""
+        weights = cls()
+        weights._documents = int(state["documents"])
+        weights._document_frequency = Counter(
+            {token: int(count) for token, count in state["document_frequency"].items()}
+        )
+        return weights
+
     def vector(self, text: str) -> dict[str, float]:
         """Sparse TF-IDF vector of ``text`` (raw term counts times IDF)."""
         counts = Counter(tokenize(text))

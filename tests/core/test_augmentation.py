@@ -1,6 +1,5 @@
 """Tests for catalog augmentation from annotated tables."""
 
-import pytest
 
 from repro.core.annotation import (
     CellAnnotation,

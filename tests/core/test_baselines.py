@@ -110,7 +110,7 @@ class TestMajority:
         annotator = TableAnnotator(world.annotator_view)
         problem = annotator.build_problem(wiki_tables[0].table)
         low = annotator.majority_baseline(50.0).annotate(problem)
-        high = annotator.majority_baseline(90.0).annotate(problem)
+        annotator.majority_baseline(90.0).annotate(problem)
         for column in low.column_type_sets:
             # a type surviving the high threshold had >90% votes, hence also
             # >50%; its minimal-set may differ but supersets hold pre-minimal

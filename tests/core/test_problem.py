@@ -5,7 +5,6 @@ The central invariant: for every full assignment y,
 describe the same objective.  The structured learner depends on this.
 """
 
-import itertools
 import random
 
 import numpy as np

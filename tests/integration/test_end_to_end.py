@@ -107,7 +107,6 @@ class TestEndToEnd:
     def test_html_to_annotation_path(self, pipeline):
         """HTML extraction feeds straight into the annotator."""
         world, _model, annotator, _index, _corpus = pipeline
-        movie = next(iter(world.full.entities_of_type("type:movie")))
         director_tuples = list(world.full.relations.tuples("rel:directed"))[:3]
         rows = "".join(
             "<tr><td>{}</td><td>{}</td></tr>".format(

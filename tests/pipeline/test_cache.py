@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.candidates import CandidateGenerator
 from repro.pipeline.cache import (
-    CacheStats,
     CandidateCache,
     CachingCandidateGenerator,
     LRUCache,

@@ -265,3 +265,88 @@ class TestParser:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestAnnotateStreamedArray:
+    def test_output_bytes_match_json_dumps(self, world_dir, tmp_path):
+        """The streamed JSON-array writer is byte-identical to json.dumps."""
+        output = tmp_path / "annotations.json"
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        text = output.read_text()
+        assert text == json.dumps(json.loads(text), indent=1)
+
+
+class TestBundleAndServeCli:
+    @pytest.fixture()
+    def bundle_dir(self, world_dir, tmp_path):
+        output = tmp_path / "bundle"
+        exit_code = main(
+            [
+                "bundle",
+                "build",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        return output
+
+    def test_bundle_build_writes_manifest(self, bundle_dir, capsys):
+        assert (bundle_dir / "manifest.json").exists()
+        assert (bundle_dir / "annotations.jsonl").exists()
+        assert (bundle_dir / "indexes" / "lemma.meta.json").exists()
+
+    def test_bundle_info_verifies(self, bundle_dir, capsys):
+        exit_code = main(
+            ["bundle", "info", "--bundle", str(bundle_dir), "--verify"]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "all file hashes match" in printed
+        assert '"format_version"' in printed
+
+    def test_bundle_serves_cli_identical_annotations(
+        self, world_dir, bundle_dir, tmp_path
+    ):
+        """ServeState /annotate == `repro annotate` output, table by table."""
+        from repro.pipeline.io import iter_corpus_jsonl
+        from repro.serve.bundle import load_bundle
+        from repro.serve.state import ServeState
+
+        output = tmp_path / "annotations.json"
+        assert (
+            main(
+                [
+                    "annotate",
+                    "--catalog",
+                    str(world_dir / "catalog_view.json"),
+                    "--corpus",
+                    str(world_dir / "corpus.jsonl"),
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        cli_annotations = {
+            entry["table_id"]: entry for entry in json.loads(output.read_text())
+        }
+        state = ServeState(load_bundle(bundle_dir))
+        for labeled in iter_corpus_jsonl(world_dir / "corpus.jsonl"):
+            served = state.annotate_payload({"table": labeled.table.to_dict()})
+            assert served["annotation"] == cli_annotations[labeled.table_id]

@@ -115,3 +115,54 @@ class TestLifecycle:
         idx = InvertedIndex()
         idx.add_many([("a", "one"), ("b", "two")])
         assert idx.document_count == 2
+
+
+class TestStateRoundTrip:
+    """to_state/from_state must reproduce the frozen index exactly."""
+
+    def test_search_results_identical(self, index):
+        restored = InvertedIndex.from_state(index.to_state())
+        for query in ("albert einstein", "einstein", "newton", "bagels", "zzz"):
+            assert restored.search(query) == index.search(query)
+
+    def test_statistics_identical(self, index):
+        restored = InvertedIndex.from_state(index.to_state())
+        assert restored.document_count == index.document_count
+        for token in ("einstein", "albert", "zzz"):
+            assert restored.document_frequency(token) == index.document_frequency(
+                token
+            )
+            assert restored.idf(token) == index.idf(token)
+        assert restored.keys_with_token("einstein") == index.keys_with_token(
+            "einstein"
+        )
+        assert restored.keys_with_token("albert einstein") == index.keys_with_token(
+            "albert einstein"
+        )
+
+    def test_restored_index_is_frozen(self, index):
+        restored = InvertedIndex.from_state(index.to_state())
+        with pytest.raises(RuntimeError):
+            restored.add("e9", "late entry")
+
+    def test_double_round_trip_is_stable(self, index):
+        once = InvertedIndex.from_state(index.to_state())
+        state_a = index.to_state()
+        state_b = once.to_state()
+        assert state_a["tokens"] == state_b["tokens"]
+        assert state_a["doc_keys"] == state_b["doc_keys"]
+        for field in ("offsets", "doc_ids", "weights", "idf", "doc_norm"):
+            assert (state_a[field] == state_b[field]).all()
+
+    def test_tuple_keys_survive(self):
+        idx = InvertedIndex()
+        idx.add(("t1", 0), "director name")
+        idx.add(("t1", 1), "film title")
+        restored = InvertedIndex.from_state(idx.to_state())
+        assert restored.search("director")[0].key == ("t1", 0)
+        assert restored.keys_with_token("title") == {("t1", 1)}
+
+    def test_empty_index_round_trips(self):
+        restored = InvertedIndex.from_state(InvertedIndex().to_state())
+        assert restored.document_count == 0
+        assert restored.search("anything") == []
