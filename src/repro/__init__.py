@@ -2,23 +2,44 @@
 "Annotating and Searching Web Tables Using Entities, Types and
 Relationships".
 
-Quick start::
+The public entry point is the typed API (:mod:`repro.api`)::
 
-    from repro import (
-        generate_world, TableAnnotator, WebTableGenerator, TableGeneratorConfig,
-    )
+    from repro import AnnotateRequest, ReproSession, SearchRequest
 
-    world = generate_world()                      # synthetic YAGO-substitute
-    gen = WebTableGenerator(world.full, TableGeneratorConfig(n_tables=5))
-    annotator = TableAnnotator(world.annotator_view)
-    for labeled in gen.generate():
-        annotation = annotator.annotate(labeled.table)
-        print(annotation.table_id, annotation.columns)
+    session = ReproSession.from_world("world/catalog_view.json")
+    response = session.annotate(AnnotateRequest(table=table))
+    session.index_corpus("world/corpus.jsonl")
+    answers = session.search(SearchRequest(relation="rel:directed",
+                                           entity="ent:kurosawa"))
+
+The same requests drive the CLI (``python -m repro``) and the HTTP server
+(``repro serve``) — all three frontends share one session facade and one
+versioned wire schema, so their behaviour is identical by construction.
+
+Lower-level building blocks (catalogs, generators, annotators, pipelines,
+searchers) remain importable below for power users and existing code.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
+from repro.api import (
+    SCHEMA_VERSION,
+    AnnotateRequest,
+    AnnotateResponse,
+    ApiError,
+    BundleBuildRequest,
+    BundleBuildResponse,
+    ErrorEnvelope,
+    JoinSearchRequest,
+    ReproSession,
+    SearchRequest,
+    SearchResponse,
+    SessionConfig,
+    TrainRequest,
+    TrainResponse,
+    encode_json,
+)
 from repro.catalog import (
     Catalog,
     CatalogBuilder,
@@ -61,9 +82,26 @@ from repro.tables import (
     extract_tables_from_html,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # typed API surface
+    "SCHEMA_VERSION",
+    "AnnotateRequest",
+    "AnnotateResponse",
+    "ApiError",
+    "BundleBuildRequest",
+    "BundleBuildResponse",
+    "ErrorEnvelope",
+    "JoinSearchRequest",
+    "ReproSession",
+    "SearchRequest",
+    "SearchResponse",
+    "SessionConfig",
+    "TrainRequest",
+    "TrainResponse",
+    "encode_json",
+    # building blocks
     "AnnotatedSearcher",
     "AnnotatedTableIndex",
     "AnnotationModel",

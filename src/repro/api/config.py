@@ -1,0 +1,150 @@
+"""One composed configuration for the whole API surface.
+
+Before this module existed every frontend wired its own stack of
+``AnnotatorConfig`` / ``InferenceConfig`` / ``PipelineConfig`` objects; the
+CLI and the HTTP server each validated engine names their own way.
+:class:`SessionConfig` replaces that: one object, loadable from JSON or CLI
+flags, that every :class:`~repro.api.session.ReproSession` (and therefore
+every frontend) is built from.
+
+:func:`validate_engine` is the **single** engine-name check — the CLI's
+argparse choices, the session's pipeline factory and the server's per-request
+engine override all resolve through it (or through :data:`VALID_ENGINES`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api import errors
+from repro.api.errors import ApiError
+from repro.core.annotator import AnnotatorConfig
+from repro.core.inference import ENGINES
+from repro.pipeline.pipeline import PipelineConfig
+
+#: the engine registry, re-exported so frontends need no core import
+VALID_ENGINES: tuple[str, ...] = tuple(ENGINES)
+
+
+def validate_engine(engine: str) -> str:
+    """The one engine-name check shared by CLI, server and library paths."""
+    if engine not in VALID_ENGINES:
+        raise ApiError(
+            errors.UNKNOWN_ENGINE,
+            f"unknown engine: {engine!r} (valid engines: "
+            f"{', '.join(VALID_ENGINES)})",
+        )
+    return engine
+
+
+@dataclass
+class SearchConfig:
+    """Knobs of the query processors owned by a session."""
+
+    #: middles explored per join query (paper two-hop join)
+    max_middle: int = 10
+    #: ranked answers kept per query before any request-level top_k trim
+    top_k_answers: int = 50
+
+    def __post_init__(self) -> None:
+        if self.max_middle < 1:
+            raise ValueError("max_middle must be >= 1")
+        if self.top_k_answers < 1:
+            raise ValueError("top_k_answers must be >= 1")
+
+
+@dataclass
+class SessionConfig:
+    """Everything a :class:`~repro.api.session.ReproSession` is built from.
+
+    Composes the per-subsystem configs (annotator + pipeline + search) that
+    the CLI used to thread by hand, plus the session-level defaults (which
+    inference engine, how much caching).  ``engine`` is the *default*
+    engine; requests may still override it per call.
+    """
+
+    engine: str = "batched"
+    workers: int = 1
+    batch_size: int = 16
+    cache_size: int = 100_000
+    compiled_cache_size: int = 2048
+    annotator: AnnotatorConfig = field(default_factory=AnnotatorConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
+
+    def __post_init__(self) -> None:
+        validate_engine(self.engine)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.compiled_cache_size < 0:
+            raise ValueError("compiled_cache_size must be >= 0")
+
+    # ------------------------------------------------------------------
+    # derived configs
+    # ------------------------------------------------------------------
+    def pipeline_config(self, engine: str | None = None) -> PipelineConfig:
+        """The :class:`PipelineConfig` for one engine (default: session's)."""
+        engine = validate_engine(engine if engine is not None else self.engine)
+        return PipelineConfig(
+            batch_size=self.batch_size,
+            workers=self.workers,
+            cache_size=self.cache_size,
+            compiled_cache_size=self.compiled_cache_size,
+            annotator=dataclasses.replace(self.annotator, engine=engine),
+        )
+
+    # ------------------------------------------------------------------
+    # JSON / CLI loading
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "cache_size": self.cache_size,
+            "compiled_cache_size": self.compiled_cache_size,
+            "annotator": self.annotator.to_dict(),
+            "search": dataclasses.asdict(self.search),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "SessionConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ApiError(
+                errors.VALIDATION_ERROR,
+                f"unknown SessionConfig field(s): {', '.join(unknown)}",
+            )
+        kwargs: dict[str, Any] = dict(payload)
+        try:
+            if "annotator" in kwargs:
+                kwargs["annotator"] = AnnotatorConfig.from_dict(
+                    dict(kwargs["annotator"])
+                )
+            if "search" in kwargs:
+                kwargs["search"] = SearchConfig(**dict(kwargs["search"]))
+            return cls(**kwargs)
+        except ApiError:
+            raise
+        except (TypeError, ValueError) as error:
+            raise ApiError(
+                errors.VALIDATION_ERROR, f"invalid SessionConfig: {error}"
+            ) from error
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "SessionConfig":
+        """Build from the CLI's shared pipeline flags (missing flags keep
+        their defaults, so every command reuses this)."""
+        kwargs: dict[str, Any] = {}
+        for flag in ("engine", "workers", "batch_size", "cache_size"):
+            value = getattr(args, flag, None)
+            if value is not None:
+                kwargs[flag] = value
+        return cls(**kwargs)

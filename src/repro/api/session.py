@@ -1,0 +1,507 @@
+"""The :class:`ReproSession` facade — the one public entry point.
+
+Every frontend (CLI commands, the HTTP server, library callers) drives the
+system the same way: open a session, hand it typed requests, get typed
+responses back.  A session owns
+
+* the catalog and model,
+* one warm :class:`~repro.pipeline.AnnotationPipeline` **per engine**
+  (built lazily behind a lock, then shared — the candidate / feature-block /
+  compiled-graph caches are engine-local but the candidate generator and its
+  frozen lemma index are shared by all engines),
+* the annotated table index plus both search processors and the join
+  processor (built lazily once an index exists).
+
+Sessions open two ways::
+
+    session = ReproSession.from_world("world/catalog_view.json")
+    session = ReproSession.from_bundle("bundle/")       # prebuilt artifacts
+
+``from_world`` starts cold (annotating builds all state on demand);
+``from_bundle`` starts warm — the index and frozen text indexes come
+straight off disk, which is what ``repro serve`` runs on.
+
+Concurrency: a session is safe to share across threads exactly like the
+serving layer it powers — bundle state is immutable, pipelines memoise pure
+functions behind internally-locked LRUs, and the only mutation (lazy
+pipeline/searcher construction, timing-ledger trims) happens under small
+mutexes here.  See :mod:`repro.serve.state` for the full story.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.api import errors
+from repro.api.config import SessionConfig, validate_engine
+from repro.api.errors import ApiError, to_api_error
+from repro.api.types import (
+    AnnotateRequest,
+    AnnotateResponse,
+    BundleBuildRequest,
+    BundleBuildResponse,
+    JoinSearchRequest,
+    SearchRequest,
+    SearchResponse,
+    TrainRequest,
+    TrainResponse,
+)
+from repro.catalog.catalog import Catalog
+from repro.catalog.errors import CatalogError
+from repro.catalog.io import load_catalog_json
+from repro.core.annotation import TableAnnotation
+from repro.core.candidates import CandidateGenerator
+from repro.core.model import AnnotationModel, default_model
+from repro.pipeline.io import annotation_to_dict, iter_corpus_jsonl
+from repro.pipeline.pipeline import AnnotationPipeline
+from repro.search.annotated_search import AnnotatedSearcher
+from repro.search.join_search import JoinQuery, JoinSearcher
+from repro.search.query import RelationQuery
+from repro.search.ranking import build_lemma_resolver
+from repro.search.table_index import AnnotatedTableIndex
+from repro.tables.model import LabeledTable, Table
+
+if TYPE_CHECKING:  # the serve package imports this module; break the cycle
+    from repro.serve.bundle import LoadedBundle
+
+#: trim the annotator's per-table timing ledger once it exceeds this
+MAX_TIMING_LEDGER = 4096
+
+
+class ReproSession:
+    """One warm, shareable handle on the whole system (see module docs)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        model: AnnotationModel | None = None,
+        config: SessionConfig | None = None,
+        bundle: LoadedBundle | None = None,
+    ) -> None:
+        self.config = config if config is not None else SessionConfig()
+        self.bundle = bundle
+        self.catalog = catalog
+        self.model = model if model is not None else default_model()
+        self._pipelines: dict[str, AnnotationPipeline] = {}
+        self._pipeline_lock = threading.Lock()
+        self._timings_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._generator: CandidateGenerator | None = None
+        self._index: AnnotatedTableIndex | None = (
+            bundle.table_index if bundle is not None else None
+        )
+        self._lemma_resolver: dict[str, str] | None = None
+        self._searchers: dict[bool, AnnotatedSearcher] | None = None
+        self._join_searcher: JoinSearcher | None = None
+        # warm the default engine so the first request pays nothing extra
+        self.pipeline(self.config.engine)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_world(
+        cls,
+        catalog: str | Path | Catalog,
+        model: str | Path | AnnotationModel | None = None,
+        config: SessionConfig | None = None,
+    ) -> "ReproSession":
+        """Open a session on a catalog file, a world directory or a live
+        :class:`Catalog`.
+
+        A world directory (as written by ``repro generate-world``) resolves
+        to its ``catalog_view.json`` (falling back to ``catalog_full.json``).
+        """
+        if not isinstance(catalog, Catalog):
+            path = Path(catalog)
+            if path.is_dir():
+                for name in ("catalog_view.json", "catalog_full.json"):
+                    if (path / name).is_file():
+                        path = path / name
+                        break
+                else:
+                    raise ApiError(
+                        errors.IO_ERROR,
+                        f"{path} is not a world directory (no "
+                        f"catalog_view.json / catalog_full.json)",
+                    )
+            if not path.is_file():
+                raise ApiError(errors.IO_ERROR, f"catalog not found: {path}")
+            catalog = load_catalog_json(path)
+        if model is not None and not isinstance(model, AnnotationModel):
+            model_path = Path(model)
+            if not model_path.is_file():
+                raise ApiError(errors.IO_ERROR, f"model not found: {model_path}")
+            model = AnnotationModel.load(model_path)
+        return cls(catalog, model=model, config=config)
+
+    @classmethod
+    def from_bundle(
+        cls,
+        bundle: str | Path | LoadedBundle,
+        config: SessionConfig | None = None,
+        verify: bool = True,
+    ) -> "ReproSession":
+        """Open a warm session on a prebuilt artifact bundle."""
+        from repro.serve.bundle import LoadedBundle, load_bundle
+
+        if not isinstance(bundle, LoadedBundle):
+            bundle = load_bundle(bundle, verify=verify)
+        return cls(
+            bundle.catalog, model=bundle.model, config=config, bundle=bundle
+        )
+
+    # ------------------------------------------------------------------
+    # pipelines
+    # ------------------------------------------------------------------
+    def _make_generator(self) -> CandidateGenerator:
+        """One candidate generator (hence one frozen lemma index) shared by
+        every engine's pipeline; bundle sessions load it straight from disk,
+        world sessions build and freeze it once."""
+        annotator_config = self.config.annotator
+        if self.bundle is not None:
+            return CandidateGenerator(
+                self.catalog,
+                top_k_entities=annotator_config.top_k_entities,
+                max_type_candidates=annotator_config.max_type_candidates,
+                lemma_index=self.bundle.lemma_index,
+                lemma_tfidf=self.bundle.lemma_tfidf,
+            )
+        return CandidateGenerator(
+            self.catalog,
+            top_k_entities=annotator_config.top_k_entities,
+            max_type_candidates=annotator_config.max_type_candidates,
+        )
+
+    def pipeline(self, engine: str | None = None) -> AnnotationPipeline:
+        """The shared pipeline for ``engine`` (built lazily, then reused)."""
+        engine = validate_engine(engine if engine is not None else self.config.engine)
+        pipeline = self._pipelines.get(engine)
+        if pipeline is not None:
+            return pipeline
+        with self._pipeline_lock:
+            pipeline = self._pipelines.get(engine)
+            if pipeline is None:
+                pipeline = AnnotationPipeline(
+                    self.catalog,
+                    model=self.model,
+                    config=self.config.pipeline_config(engine),
+                    candidate_generator=self._shared_generator(),
+                )
+                self._pipelines[engine] = pipeline
+            return pipeline
+
+    def _shared_generator(self) -> CandidateGenerator:
+        """The one generator every pipeline shares.
+
+        Built at most once: ``__init__`` warms the default pipeline, so the
+        generator exists before any concurrent caller can reach this.
+        """
+        if self._generator is None:
+            self._generator = self._make_generator()
+        return self._generator
+
+    def pipelines(self) -> dict[str, AnnotationPipeline]:
+        """Snapshot of the warm pipelines, keyed by engine."""
+        with self._pipeline_lock:
+            return dict(self._pipelines)
+
+    def _trim_timing_ledger(self, pipeline: AnnotationPipeline) -> None:
+        timings = pipeline.annotator.timings
+        if len(timings) > MAX_TIMING_LEDGER:
+            with self._timings_lock:
+                if len(timings) > MAX_TIMING_LEDGER:
+                    timings.clear()
+
+    # ------------------------------------------------------------------
+    # annotation
+    # ------------------------------------------------------------------
+    def annotate(self, request: AnnotateRequest) -> AnnotateResponse:
+        """Annotate one table (the typed request/response path)."""
+        engine = validate_engine(
+            request.engine if request.engine is not None else self.config.engine
+        )
+        pipeline = self.pipeline(engine)
+        annotation = pipeline.annotate(request.table)
+        self._trim_timing_ledger(pipeline)
+        return self._annotate_response(
+            annotation, engine, include_timing=request.include_timing
+        )
+
+    def _annotate_response(
+        self,
+        annotation: TableAnnotation,
+        engine: str,
+        include_timing: bool,
+    ) -> AnnotateResponse:
+        """One annotation as its wire response (single source of the shape)."""
+        timing = annotation.diagnostics.get("timing")
+        return AnnotateResponse(
+            table_id=annotation.table_id,
+            engine=engine,
+            annotation=annotation_to_dict(annotation),
+            diagnostics={
+                "iterations": annotation.diagnostics.get("iterations"),
+                "converged": annotation.diagnostics.get("converged"),
+                "n_variables": annotation.diagnostics.get("n_variables"),
+                "n_factors": annotation.diagnostics.get("n_factors"),
+            },
+            timing_seconds=(
+                {
+                    "total": timing.total_seconds,
+                    "candidates": timing.candidate_seconds,
+                    "inference": timing.inference_seconds,
+                }
+                if include_timing and timing is not None
+                else None
+            ),
+        )
+
+    def annotate_wire_stream(
+        self,
+        tables: Iterable[Table | LabeledTable],
+        engine: str | None = None,
+        include_timing: bool = False,
+    ) -> Iterator[AnnotateResponse]:
+        """Stream typed responses for a whole corpus.
+
+        Runs through the batched/threaded pipeline (so ``workers`` /
+        ``batch_size`` apply), yielding one :class:`AnnotateResponse` per
+        table in corpus order — each byte-identical to what a single
+        :meth:`annotate` call for that table would produce.  Timing is
+        excluded by default: the corpus wire format is the deterministic
+        one.
+        """
+        engine = validate_engine(engine if engine is not None else self.config.engine)
+        for annotation in self.annotate_stream(tables, engine):
+            yield self._annotate_response(
+                annotation, engine, include_timing=include_timing
+            )
+
+    def annotate_stream(
+        self,
+        tables: Iterable[Table | LabeledTable],
+        engine: str | None = None,
+    ) -> Iterator[TableAnnotation]:
+        """Stream corpus annotations in order (batched, cached, optionally
+        threaded — see :class:`AnnotationPipeline`)."""
+        return self.pipeline(engine).annotate_stream(tables)
+
+    def annotate_with_tables(
+        self,
+        tables: Iterable[Table | LabeledTable],
+        engine: str | None = None,
+    ) -> Iterator[tuple[Table, TableAnnotation]]:
+        """Stream ``(table, annotation)`` pairs in corpus order."""
+        return self.pipeline(engine).annotate_with_tables(tables)
+
+    # ------------------------------------------------------------------
+    # index + search
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> AnnotatedTableIndex | None:
+        """The annotated table index, if one exists yet."""
+        return self._index
+
+    def index_corpus(
+        self,
+        tables: Iterable[Table | LabeledTable] | str | Path,
+        engine: str | None = None,
+    ) -> AnnotatedTableIndex:
+        """Annotate a corpus (iterable or JSONL path) into the session index.
+
+        Replaces any previous index; the searchers rebuild lazily on the
+        next query.
+        """
+        if isinstance(tables, (str, Path)):
+            path = Path(tables)
+            if not path.is_file():
+                raise ApiError(errors.IO_ERROR, f"corpus not found: {path}")
+            tables = iter_corpus_jsonl(path)
+        index = AnnotatedTableIndex(catalog=self.catalog)
+        for table, annotation in self.annotate_with_tables(tables, engine):
+            index.add_table(table, annotation)
+        index.freeze()
+        with self._state_lock:
+            self._index = index
+            self._searchers = None
+            self._join_searcher = None
+        return index
+
+    def _require_index(self) -> AnnotatedTableIndex:
+        index = self._index
+        if index is None:
+            raise ApiError(
+                errors.NO_INDEX,
+                "session has no table index: open a bundle or call "
+                "index_corpus() first",
+            )
+        return index
+
+    def _searcher(self, use_relations: bool) -> AnnotatedSearcher:
+        # lock-free fast path once warm (one atomic attribute read); the
+        # slow path reads the index and builds the searchers inside one
+        # critical section, so a concurrent index_corpus() can never leave
+        # searchers cached over a replaced index
+        searchers = self._searchers
+        if searchers is not None:
+            return searchers[use_relations]
+        with self._state_lock:
+            if self._searchers is None:
+                index = self._require_index()
+                if self._lemma_resolver is None:
+                    self._lemma_resolver = build_lemma_resolver(self.catalog)
+                self._searchers = {
+                    flag: AnnotatedSearcher(
+                        index,
+                        self.catalog,
+                        use_relations=flag,
+                        lemma_resolver=self._lemma_resolver,
+                    )
+                    for flag in (True, False)
+                }
+            return self._searchers[use_relations]
+
+    def _join(self) -> JoinSearcher:
+        searcher = self._join_searcher
+        if searcher is not None:
+            return searcher
+        with self._state_lock:
+            if self._join_searcher is None:
+                index = self._require_index()
+                if self._lemma_resolver is None:
+                    self._lemma_resolver = build_lemma_resolver(self.catalog)
+                self._join_searcher = JoinSearcher(
+                    index,
+                    self.catalog,
+                    max_middle=self.config.search.max_middle,
+                    top_k_answers=self.config.search.top_k_answers,
+                    lemma_resolver=self._lemma_resolver,
+                )
+            return self._join_searcher
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Answer one relational query against the session index."""
+        searcher = self._searcher(request.use_relations)
+        try:
+            query = RelationQuery.from_catalog(
+                self.catalog, request.relation, request.entity
+            )
+        except CatalogError as error:
+            raise to_api_error(error) from error
+        return SearchResponse.from_ranked(
+            searcher.search(query), top_k=request.top_k
+        )
+
+    def join_search(self, request: JoinSearchRequest) -> SearchResponse:
+        """Answer one two-hop join query against the session index."""
+        searcher = self._join()
+        try:
+            query = JoinQuery.from_catalog(
+                self.catalog,
+                request.first_relation,
+                request.second_relation,
+                request.entity,
+            )
+        except CatalogError as error:
+            raise to_api_error(error) from error
+        except ValueError as error:
+            raise ApiError(errors.INVALID_QUERY, str(error)) from error
+        return SearchResponse.from_ranked(
+            searcher.search(query), top_k=request.top_k
+        )
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(self, request: TrainRequest) -> TrainResponse:
+        """Train fresh model weights on a labeled corpus.
+
+        Training runs on a dedicated pipeline so the session's warm serving
+        pipelines (and their caches) are never perturbed.  The session keeps
+        its original model; load the trained one into a new session.
+        """
+        from repro.core.learning import StructuredTrainer, TrainingConfig
+        from repro.tables.corpus import load_corpus_jsonl
+
+        corpus_path = Path(request.corpus_path)
+        if not corpus_path.is_file():
+            raise ApiError(errors.IO_ERROR, f"corpus not found: {corpus_path}")
+        corpus = load_corpus_jsonl(corpus_path)
+        # a dedicated pipeline keeps the warm serving pipelines untouched,
+        # but the expensive candidate generator (catalog scan + frozen
+        # lemma index) is shared — it depends only on the catalog
+        pipeline = AnnotationPipeline(
+            self.catalog,
+            model=default_model(),
+            config=self.config.pipeline_config(),
+            candidate_generator=self._shared_generator(),
+        )
+        try:
+            trainer = StructuredTrainer(
+                pipeline.annotator,
+                TrainingConfig(
+                    epochs=request.epochs,
+                    seed=request.seed,
+                    method=request.method,
+                ),
+            )
+            model = trainer.train(list(corpus))
+        except ValueError as error:
+            raise ApiError(errors.VALIDATION_ERROR, str(error)) from error
+        if request.output_path is not None:
+            model.save(request.output_path)
+        final_loss = (
+            trainer.history[-1]["hamming_loss"] if trainer.history else 0.0
+        )
+        return TrainResponse(
+            n_tables=len(corpus),
+            epochs=request.epochs,
+            final_hamming_loss=final_loss,
+            model_fingerprint=model.fingerprint(),
+            model_path=request.output_path,
+        )
+
+    # ------------------------------------------------------------------
+    # bundles
+    # ------------------------------------------------------------------
+    def build_bundle(self, request: BundleBuildRequest) -> BundleBuildResponse:
+        """Annotate a corpus and serialize the full serving bundle."""
+        from repro.serve.bundle import build_bundle
+
+        corpus_path = Path(request.corpus_path)
+        if not corpus_path.is_file():
+            raise ApiError(errors.IO_ERROR, f"corpus not found: {corpus_path}")
+        manifest = build_bundle(
+            request.output_path,
+            self.catalog,
+            iter_corpus_jsonl(corpus_path),
+            pipeline=self.pipeline(),
+        )
+        return BundleBuildResponse(
+            output_path=str(request.output_path),
+            n_tables=int(manifest.stats.get("n_tables", 0)),
+            n_files=len(manifest.files),
+            annotate_seconds=float(manifest.stats.get("annotate_seconds", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Identity + capability snapshot (feeds ``/healthz``)."""
+        from repro.api.types import SCHEMA_VERSION
+
+        info: dict = {
+            "schema_version": SCHEMA_VERSION,
+            "default_engine": self.config.engine,
+            "engines": sorted(self.pipelines()),
+            "tables": len(self._index) if self._index is not None else 0,
+            "model_sha256": self.model.fingerprint(),
+            "catalog": self.catalog.name,
+        }
+        if self.bundle is not None:
+            info["bundle"] = str(self.bundle.path)
+        return info

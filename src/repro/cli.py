@@ -5,7 +5,7 @@ Commands:
 * ``generate-world`` — write a synthetic catalog pair (full + annotator view)
   and optionally a table corpus to a directory,
 * ``annotate``       — annotate a JSONL table corpus against a catalog and
-  write the annotations as JSON (or streaming JSONL),
+  write the annotations as JSON (or streaming JSONL / wire payloads),
 * ``train``          — train model weights on a labeled corpus,
 * ``search``         — answer one relational query over an annotated corpus,
 * ``search-index``   — annotate + index a corpus and report index statistics,
@@ -16,14 +16,16 @@ Commands:
 * ``serve``          — long-lived HTTP service answering ``/annotate`` and
   ``/search`` from a prebuilt bundle (see :mod:`repro.serve`).
 
-Every corpus-scale command goes through
-:class:`~repro.pipeline.AnnotationPipeline` — the shared candidate cache,
-batching and worker flags below (``--workers``, ``--batch-size``,
-``--cache-size``) apply uniformly.
+Every command is a thin argparse shim over the typed API: flags become a
+request object from :mod:`repro.api.types`, one shared
+:class:`~repro.api.ReproSession` executes it, and responses encode through
+the same :func:`~repro.api.encode_json` the HTTP server uses — so ``repro
+annotate --wire`` and ``POST /annotate`` emit byte-identical payloads for
+identical requests.  API failures print as ``error [<stable code>]:
+<message>`` and exit 1.
 
-All commands are deterministic given their ``--seed`` arguments.  The CLI is
-a thin shell over the library; anything beyond one-shot usage should import
-:mod:`repro` directly.
+All commands are deterministic given their ``--seed`` arguments.  Anything
+beyond one-shot usage should import :mod:`repro` (see ``ReproSession``).
 """
 
 from __future__ import annotations
@@ -33,21 +35,25 @@ import json
 import sys
 from pathlib import Path
 
-from repro.catalog.io import load_catalog_json, save_catalog_json
+from repro.api.config import VALID_ENGINES, SessionConfig
+from repro.api.errors import ApiError
+from repro.api.session import ReproSession
+from repro.api.types import (
+    BundleBuildRequest,
+    SearchRequest,
+    TrainRequest,
+    encode_json,
+)
+from repro.catalog.io import save_catalog_json
 from repro.catalog.synthetic import SyntheticCatalogConfig, generate_world
-from repro.core.annotator import AnnotatorConfig
-from repro.core.inference import ENGINES
-from repro.core.model import AnnotationModel, default_model
 from repro.pipeline.io import (
     iter_corpus_jsonl,
     write_annotations_json_array,
     write_annotations_jsonl,
 )
-from repro.pipeline.pipeline import AnnotationPipeline, PipelineConfig
-from repro.search.annotated_search import AnnotatedSearcher
-from repro.search.query import RelationQuery
+from repro.pipeline.pipeline import AnnotationPipeline
 from repro.search.table_index import AnnotatedTableIndex
-from repro.tables.corpus import TableCorpus, load_corpus_jsonl, save_corpus_jsonl
+from repro.tables.corpus import TableCorpus, save_corpus_jsonl
 from repro.tables.generator import (
     NoiseProfile,
     TableGeneratorConfig,
@@ -55,17 +61,13 @@ from repro.tables.generator import (
 )
 
 
-def _pipeline_from_args(args: argparse.Namespace) -> AnnotationPipeline:
-    """Build the corpus pipeline shared by every annotating command."""
-    catalog = load_catalog_json(args.catalog)
-    model = AnnotationModel.load(args.model) if args.model else default_model()
-    config = PipelineConfig(
-        batch_size=args.batch_size,
-        workers=args.workers,
-        cache_size=args.cache_size,
-        annotator=AnnotatorConfig(engine=args.engine),
+def _session_from_args(args: argparse.Namespace) -> ReproSession:
+    """One session per invocation: catalog + model + composed config."""
+    return ReproSession.from_world(
+        args.catalog,
+        model=getattr(args, "model", None),
+        config=SessionConfig.from_args(args),
     )
-    return AnnotationPipeline(catalog, model=model, config=config)
 
 
 def _positive_int(text: str) -> int:
@@ -100,7 +102,7 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=ENGINES,
+        choices=VALID_ENGINES,
         default="batched",
         help="inference engine: batched (vectorised, default) or scalar "
         "(per-edge reference)",
@@ -145,7 +147,35 @@ def cmd_generate_world(args: argparse.Namespace) -> int:
 
 
 def cmd_annotate(args: argparse.Namespace) -> int:
-    pipeline = _pipeline_from_args(args)
+    if args.wire and args.jsonl:
+        raise ApiError(
+            "validation_error", "--wire and --jsonl are mutually exclusive"
+        )
+    session = _session_from_args(args)
+    if args.wire:
+        # one full AnnotateResponse wire payload per line — the canonical
+        # deterministic encoding (timing excluded), byte-identical to what
+        # POST /annotate returns for the same request; runs through the
+        # batched/threaded pipeline like every other corpus mode
+        wire_lines = (
+            encode_json(response.to_json())
+            for response in session.annotate_wire_stream(
+                iter_corpus_jsonl(args.corpus), engine=args.engine
+            )
+        )
+        if args.output:
+            written = 0
+            with Path(args.output).open("w", encoding="utf-8") as handle:
+                for line in wire_lines:
+                    handle.write(line + "\n")
+                    written += 1
+            print(f"annotated {written} tables -> {args.output}")
+        else:
+            for line in wire_lines:
+                print(line)
+        _print_pipeline_summary(session.pipeline())
+        return 0
+    pipeline = session.pipeline()
     # both modes stream: tables are read, annotated and written one batch at
     # a time, so memory stays bounded however large the corpus is
     if args.jsonl:
@@ -155,7 +185,7 @@ def cmd_annotate(args: argparse.Namespace) -> int:
         else:
             pipeline.annotate_jsonl(args.corpus, sys.stdout)
     else:
-        annotations = pipeline.annotate_stream(iter_corpus_jsonl(args.corpus))
+        annotations = session.annotate_stream(iter_corpus_jsonl(args.corpus))
         if args.output:
             with Path(args.output).open("w", encoding="utf-8") as handle:
                 written = write_annotations_json_array(annotations, handle)
@@ -168,37 +198,45 @@ def cmd_annotate(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    from repro.core.learning import StructuredTrainer, TrainingConfig
-
-    catalog = load_catalog_json(args.catalog)
-    corpus = load_corpus_jsonl(args.corpus)
-    # the pipeline's shared cache pays off across epochs: every epoch
-    # re-probes the same training cells
-    pipeline = AnnotationPipeline(catalog, model=default_model())
-    trainer = StructuredTrainer(
-        pipeline.annotator,
-        TrainingConfig(epochs=args.epochs, seed=args.seed),
+    session = ReproSession.from_world(args.catalog)
+    response = session.train(
+        TrainRequest(
+            corpus_path=args.corpus,
+            epochs=args.epochs,
+            seed=args.seed,
+            output_path=args.output,
+        )
     )
-    model = trainer.train(list(corpus))
-    model.save(args.output)
-    final_loss = trainer.history[-1]["hamming_loss"] if trainer.history else 0.0
-    print(f"trained on {len(corpus)} tables; final epoch hamming loss "
-          f"{final_loss:.0f}; model -> {args.output}")
+    print(
+        f"trained on {response.n_tables} tables; final epoch hamming loss "
+        f"{response.final_hamming_loss:.0f}; model -> {response.model_path}"
+    )
     return 0
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    pipeline = _pipeline_from_args(args)
-    catalog = pipeline.catalog
-    index = AnnotatedTableIndex.from_corpus(
-        catalog, iter_corpus_jsonl(args.corpus), pipeline=pipeline
+    session = _session_from_args(args)
+    session.index_corpus(args.corpus)
+    _print_pipeline_summary(session.pipeline())
+    if args.json:
+        # the typed path: top_k is part of the request, and the printed
+        # payload is byte-identical to POST /search for this request
+        request = SearchRequest(
+            relation=args.relation,
+            entity=args.entity,
+            use_relations=not args.no_relations,
+            top_k=args.top_k,
+        )
+        print(encode_json(session.search(request).to_json()))
+        return 0
+    # human mode: report the full answer count, trim only the display
+    response = session.search(
+        SearchRequest(
+            relation=args.relation,
+            entity=args.entity,
+            use_relations=not args.no_relations,
+        )
     )
-    _print_pipeline_summary(pipeline)
-    query = RelationQuery.from_catalog(catalog, args.relation, args.entity)
-    searcher = AnnotatedSearcher(
-        index, catalog, use_relations=not args.no_relations
-    )
-    response = searcher.search(query)
     print(f"{len(response.answers)} answers "
           f"({response.tables_considered} tables considered)")
     for answer in response.answers[: args.top_k]:
@@ -209,12 +247,12 @@ def cmd_search(args: argparse.Namespace) -> int:
 def cmd_augment(args: argparse.Namespace) -> int:
     from repro.core.augmentation import CatalogAugmenter
 
-    pipeline = _pipeline_from_args(args)
-    catalog = pipeline.catalog
+    session = _session_from_args(args)
+    catalog = session.catalog
     augmenter = CatalogAugmenter(catalog, min_confidence=args.min_confidence)
-    for annotation in pipeline.annotate_stream(iter_corpus_jsonl(args.corpus)):
+    for annotation in session.annotate_stream(iter_corpus_jsonl(args.corpus)):
         augmenter.add_annotated_table(annotation)
-    _print_pipeline_summary(pipeline)
+    _print_pipeline_summary(session.pipeline())
     report = augmenter.report()
     print(
         f"{len(report.tuples)} tuple proposals, "
@@ -236,15 +274,15 @@ def cmd_augment(args: argparse.Namespace) -> int:
 
 
 def cmd_search_index(args: argparse.Namespace) -> int:
-    pipeline = _pipeline_from_args(args)
-    catalog = pipeline.catalog
+    session = _session_from_args(args)
+    catalog = session.catalog
 
     def tables_with_side_output():
         if not args.annotations:
-            yield from pipeline.annotate_with_tables(iter_corpus_jsonl(args.corpus))
+            yield from session.annotate_with_tables(iter_corpus_jsonl(args.corpus))
             return
         with Path(args.annotations).open("w", encoding="utf-8") as handle:
-            for table, annotation in pipeline.annotate_with_tables(
+            for table, annotation in session.annotate_with_tables(
                 iter_corpus_jsonl(args.corpus)
             ):
                 write_annotations_jsonl([annotation], handle)
@@ -254,7 +292,7 @@ def cmd_search_index(args: argparse.Namespace) -> int:
     for table, annotation in tables_with_side_output():
         index.add_table(table, annotation)
     index.freeze()
-    _print_pipeline_summary(pipeline)
+    _print_pipeline_summary(session.pipeline())
     for key, value in index.stats().items():
         print(f"{key}: {value}")
     if args.annotations:
@@ -263,21 +301,15 @@ def cmd_search_index(args: argparse.Namespace) -> int:
 
 
 def cmd_bundle_build(args: argparse.Namespace) -> int:
-    from repro.serve.bundle import build_bundle
-
-    pipeline = _pipeline_from_args(args)
-    manifest = build_bundle(
-        args.output,
-        pipeline.catalog,
-        iter_corpus_jsonl(args.corpus),
-        pipeline=pipeline,
+    session = _session_from_args(args)
+    response = session.build_bundle(
+        BundleBuildRequest(corpus_path=args.corpus, output_path=args.output)
     )
-    _print_pipeline_summary(pipeline)
-    stats = manifest.stats
+    _print_pipeline_summary(session.pipeline())
     print(
-        f"bundle written to {args.output}: {stats['n_tables']} tables, "
-        f"{len(manifest.files)} files, annotate time "
-        f"{stats['annotate_seconds']:.2f}s"
+        f"bundle written to {response.output_path}: {response.n_tables} tables, "
+        f"{response.n_files} files, annotate time "
+        f"{response.annotate_seconds:.2f}s"
     )
     return 0
 
@@ -294,18 +326,17 @@ def cmd_bundle_info(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.pipeline.pipeline import PipelineConfig
     from repro.serve.bundle import load_bundle
     from repro.serve.server import create_server, run_server
     from repro.serve.state import ServeState
 
     bundle = load_bundle(args.bundle, verify=not args.no_verify)
-    config = PipelineConfig(
-        cache_size=args.cache_size,
-        annotator=AnnotatorConfig(engine=args.engine),
-    )
     state = ServeState(
-        bundle, default_engine=args.engine, pipeline_config=config
+        bundle,
+        default_engine=args.engine,
+        session_config=SessionConfig(
+            engine=args.engine, cache_size=args.cache_size
+        ),
     )
     server = create_server(
         state, host=args.host, port=args.port, quiet=not args.verbose
@@ -354,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream annotations as JSONL (one object per line, bounded memory)",
     )
+    annotate.add_argument(
+        "--wire",
+        action="store_true",
+        help="stream full AnnotateResponse wire payloads as JSONL "
+        "(byte-identical to POST /annotate, timing excluded)",
+    )
     _add_pipeline_arguments(annotate)
     annotate.set_defaults(handler=cmd_annotate)
 
@@ -376,6 +413,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-relations",
         action="store_true",
         help="type-only search (paper Figure 4 without relation filtering)",
+    )
+    search.add_argument(
+        "--json",
+        action="store_true",
+        help="print the SearchResponse wire payload "
+        "(byte-identical to POST /search for the same request)",
     )
     _add_pipeline_arguments(search)
     search.set_defaults(handler=cmd_search)
@@ -445,7 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
         "--engine",
-        choices=ENGINES,
+        choices=VALID_ENGINES,
         default="batched",
         help="default inference engine (requests may override per call)",
     )
@@ -470,7 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ApiError as error:
+        print(f"error [{error.code}]: {error.message}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()

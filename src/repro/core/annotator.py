@@ -15,6 +15,7 @@ respectively.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 
@@ -60,6 +61,20 @@ class AnnotatorConfig:
             schedule=self.schedule,
             engine=self.engine,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (used by :class:`repro.api.SessionConfig`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnnotatorConfig":
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown AnnotatorConfig field(s): {', '.join(unknown)}"
+            )
+        return cls(**payload)
 
 
 @dataclass

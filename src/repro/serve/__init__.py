@@ -6,9 +6,9 @@ The offline/online split of the paper's deployment story:
   versioned on-disk format holding the catalog, trained model, frozen
   (array-backed) text indexes and pre-computed corpus annotations, under a
   hash-verified manifest.
-* :mod:`repro.serve.state` — :class:`ServeState`: one warm
-  ``AnnotationPipeline`` per engine plus lock-free searchers over the
-  bundle, shared by all requests.
+* :mod:`repro.serve.state` — :class:`ServeState`: request metrics plus the
+  payload handlers (decode JSON → typed request → shared
+  :class:`~repro.api.ReproSession` → typed response → JSON).
 * :mod:`repro.serve.server` — the threaded stdlib-HTTP front end
   (``repro serve``): ``/annotate``, ``/search``, ``/search/join``,
   ``/healthz``, ``/metrics``.

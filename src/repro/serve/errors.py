@@ -1,10 +1,47 @@
-"""Exception hierarchy of the serving subsystem."""
+"""Exception hierarchy of the serving subsystem.
+
+The bundle errors live here (they belong to the artifact format);
+request-payload failures moved to the shared API taxonomy in
+:mod:`repro.api.errors` and are :class:`~repro.api.errors.ApiError`
+instances — new code should catch ``ApiError``.  ``BadRequestError`` below
+is a deprecation shim keeping both the old import path *and* the old
+hierarchy: it subclasses the API taxonomy and ``ServeError``, and the HTTP
+transport still raises it for body-level problems.  Schema-level
+validation errors raised by :mod:`repro.api.types` are plain ``ApiError``
+and are **not** ``ServeError`` — that part of the old hierarchy moved.
+All of these classify to stable wire codes through
+:func:`repro.api.errors.to_api_error`.
+"""
 
 from __future__ import annotations
+
+from repro.api.errors import BAD_REQUEST, ApiError
+from repro.api.errors import BadRequestError as _ApiBadRequestError
+
+__all__ = [
+    "ApiError",
+    "BadRequestError",
+    "BundleError",
+    "BundleIntegrityError",
+    "BundleVersionError",
+    "ServeError",
+]
 
 
 class ServeError(Exception):
     """Base class for all serving-layer errors."""
+
+
+class BadRequestError(_ApiBadRequestError, ServeError):
+    """A request body is malformed at the transport level.
+
+    Deprecated alias kept for compatibility: carries the API taxonomy
+    (stable ``code``, HTTP status) *and* remains a :class:`ServeError` so
+    pre-existing ``except ServeError`` handlers still catch it.
+    """
+
+    def __init__(self, message: str, code: str = BAD_REQUEST) -> None:
+        super().__init__(message, code)
 
 
 class BundleError(ServeError):
@@ -17,11 +54,3 @@ class BundleVersionError(BundleError):
 
 class BundleIntegrityError(BundleError):
     """A bundle file is missing or its content hash does not match."""
-
-
-class BadRequestError(ServeError):
-    """A request payload is malformed or references unknown catalog ids.
-
-    The HTTP layer maps this to a 400 response with the message as the
-    ``error`` field.
-    """

@@ -8,15 +8,23 @@ spots) and the shared state is read-mostly (see the locking story in
 
 Endpoints::
 
-    GET  /healthz       liveness + bundle identity
+    GET  /healthz       liveness + bundle identity + schema_version
+    POST /annotate      AnnotateRequest    -> AnnotateResponse
+    POST /search        SearchRequest      -> SearchResponse
+    POST /search/join   JoinSearchRequest  -> SearchResponse
     GET  /metrics       request counts, latency percentiles, cache hit rates
-    POST /annotate      {"table": Table dict, "engine"?: "batched"|"scalar"}
-    POST /search        {"relation", "entity", "use_relations"?, "top_k"?}
-    POST /search/join   {"first_relation", "second_relation", "entity", "top_k"?}
 
-All responses are JSON.  Errors use {"error": message} with 400 (bad
-payload / unknown catalog ids), 404 (unknown path), 405 (wrong method) or
-500 (unexpected failure).
+Request and response bodies are the versioned wire schema of
+:mod:`repro.api.types`, serialized with :func:`repro.api.types.encode_json`
+— the same encoder the CLI's ``--wire``/``--json`` modes use, which is what
+makes the two frontends byte-identical for identical requests.  Failures of
+any kind are an :class:`~repro.api.types.ErrorEnvelope`::
+
+    {"schema_version": 1, "error": {"code": "<stable code>", "message": …}}
+
+with the HTTP status derived from the code by the taxonomy in
+:mod:`repro.api.errors` (400 family for bad payloads / unknown catalog ids,
+404 unknown path, 405 wrong method, 500 unexpected).
 """
 
 from __future__ import annotations
@@ -25,7 +33,9 @@ import json
 import sys
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
 
+from repro.api.types import ErrorEnvelope, encode_json
 from repro.serve.errors import BadRequestError
 from repro.serve.state import ServeState
 
@@ -45,7 +55,7 @@ class TableServer(ThreadingHTTPServer):
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/2.0"
     protocol_version = "HTTP/1.1"
     server: TableServer
 
@@ -59,9 +69,15 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/metrics":
             self._handle("metrics", lambda: state.metrics_snapshot())
         elif self.path in ("/annotate", "/search", "/search/join"):
-            self._send_json(405, {"error": f"{self.path} requires POST"})
+            self._send_error(
+                BadRequestError(
+                    f"{self.path} requires POST", code="method_not_allowed"
+                )
+            )
         else:
-            self._send_json(404, {"error": f"unknown path: {self.path}"})
+            self._send_error(
+                BadRequestError(f"unknown path: {self.path}", code="not_found")
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         state = self.server.state
@@ -73,9 +89,17 @@ class _Handler(BaseHTTPRequestHandler):
         route = routes.get(self.path)
         if route is None:
             if self.path in ("/healthz", "/metrics"):
-                self._send_json(405, {"error": f"{self.path} requires GET"})
+                self._send_error(
+                    BadRequestError(
+                        f"{self.path} requires GET", code="method_not_allowed"
+                    )
+                )
             else:
-                self._send_json(404, {"error": f"unknown path: {self.path}"})
+                self._send_error(
+                    BadRequestError(
+                        f"unknown path: {self.path}", code="not_found"
+                    )
+                )
             return
         endpoint, handler = route
         self._handle(endpoint, lambda: handler(self._read_json_body()))
@@ -101,27 +125,26 @@ class _Handler(BaseHTTPRequestHandler):
             raise BadRequestError("JSON body must be an object")
         return payload
 
-    def _handle(self, endpoint: str, run) -> None:
-        """Run one handler, recording metrics and mapping errors to JSON."""
+    def _handle(self, endpoint: str, run: Callable[[], dict]) -> None:
+        """Run one handler, recording metrics and mapping every failure to
+        the structured :class:`ErrorEnvelope`."""
         metrics = self.server.state.metrics
         start = time.perf_counter()
         try:
             result = run()
-        except BadRequestError as error:
+        except Exception as error:  # noqa: BLE001 - the API boundary
             metrics.observe(endpoint, time.perf_counter() - start, error=True)
-            self._send_json(400, {"error": str(error)})
-            return
-        except Exception as error:  # pragma: no cover - defensive surface
-            metrics.observe(endpoint, time.perf_counter() - start, error=True)
-            self._send_json(
-                500, {"error": f"{type(error).__name__}: {error}"}
-            )
+            self._send_error(error)
             return
         metrics.observe(endpoint, time.perf_counter() - start, error=False)
         self._send_json(200, result)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    def _send_error(self, error: BaseException) -> None:
+        envelope = ErrorEnvelope.from_error(error)
+        self._send_json(envelope.http_status, envelope.to_json())
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = encode_json(payload).encode("utf-8")
         if status >= 400:
             # error paths may not have drained the request body; under
             # HTTP/1.1 keep-alive the unread bytes would be parsed as the

@@ -1,5 +1,12 @@
 """Warm, shared serving state: one bundle, many concurrent requests.
 
+Since the typed API layer landed, this module is deliberately thin: all
+domain work lives in :class:`~repro.api.session.ReproSession` (shared with
+the CLI and library callers, so the frontends cannot diverge), and
+``ServeState`` adds only what an HTTP *process* needs on top — request
+metrics and the payload-level handlers that decode JSON into typed requests
+and encode typed responses back out.
+
 Concurrency model (the whole locking story):
 
 * **Bundle state is immutable.**  The catalog, the frozen lemma/header/
@@ -8,75 +15,76 @@ Concurrency model (the whole locking story):
   them lock-free.
 * **Annotation is a pure function with thread-safe memoisation.**  One
   :class:`~repro.pipeline.AnnotationPipeline` per engine is shared by all
-  requests; its candidate / feature-block / compiled-graph LRUs carry their
-  own internal locks (:class:`~repro.pipeline.cache.LRUCache`), and the
-  pipeline already supports threaded execution, so concurrent ``/annotate``
-  requests produce exactly the answers serial requests would (covered by
-  the concurrency determinism tests).
-* **The per-table timing ledger is bounded.**  ``TableAnnotator.annotate``
-  appends one timing record per call (a GIL-atomic list append); a
-  long-lived process would grow it without bound, so this layer trims it
-  under ``_timings_lock`` once it passes a threshold.  Each response reads
-  its own timing from the annotation's diagnostics, never from the ledger.
+  requests (owned by the session); its candidate / feature-block /
+  compiled-graph LRUs carry their own internal locks, so concurrent
+  ``/annotate`` requests produce exactly the answers serial requests would
+  (covered by the concurrency determinism tests).
+* **The per-table timing ledger is bounded** — the session trims it under a
+  lock once it passes a threshold; each response reads its own timing from
+  the annotation's diagnostics, never from the ledger.
 * **Everything else** (metrics registry, lazy creation of the non-default
-  engine's pipeline) sits behind one small mutex each.
+  engine's pipeline) sits behind one small mutex each, inside the session
+  or the metrics registry.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import replace
 
-from repro.catalog.errors import CatalogError
-from repro.core.candidates import CandidateGenerator
-from repro.core.inference import ENGINES
-from repro.pipeline.io import annotation_to_dict
+from repro.api.config import SessionConfig
+from repro.api.session import ReproSession
+from repro.api.types import (
+    SCHEMA_VERSION,
+    AnnotateRequest,
+    JoinSearchRequest,
+    SearchRequest,
+    SearchResponse,
+)
 from repro.pipeline.pipeline import AnnotationPipeline, PipelineConfig
-from repro.search.annotated_search import AnnotatedSearcher
-from repro.search.join_search import JoinQuery, JoinSearcher
-from repro.search.query import RelationQuery
-from repro.search.ranking import SearchResponse, build_lemma_resolver
-from repro.search.table_index import AnnotatedTableIndex
+from repro.search.ranking import SearchResponse as RankedResponse
 from repro.serve.bundle import LoadedBundle
-from repro.serve.errors import BadRequestError
 from repro.serve.metrics import MetricsRegistry
-from repro.tables.model import Table
-
-#: trim the annotator's timing ledger once it exceeds this many entries
-MAX_TIMING_LEDGER = 4096
 
 
-def response_to_dict(response: SearchResponse, top_k: int | None = None) -> dict:
-    """JSON shape of one search response (stable field order)."""
-    answers = response.answers if top_k is None else response.answers[:top_k]
-    return {
-        "answers": [
-            {
-                "text": answer.text,
-                "score": answer.score,
-                "entity_id": answer.entity_id,
-                "supporting_tables": list(answer.supporting_tables),
-            }
-            for answer in answers
-        ],
-        "tables_considered": response.tables_considered,
-        "rows_matched": response.rows_matched,
-    }
+def response_to_dict(response: RankedResponse, top_k: int | None = None) -> dict:
+    """Deprecated shim over :meth:`repro.api.types.SearchResponse.to_json`.
+
+    Returns the current versioned wire shape — a superset of the pre-API
+    dict (same ``answers``/``tables_considered``/``rows_matched`` content,
+    plus a leading ``schema_version`` key).  Callers comparing two of these
+    payloads are unaffected; callers pinning the exact pre-API key set
+    should move to the typed :class:`SearchResponse`.
+    """
+    return SearchResponse.from_ranked(response, top_k=top_k).to_json()
 
 
-def _require(payload: dict, key: str) -> object:
-    if not isinstance(payload, dict) or key not in payload:
-        raise BadRequestError(f"missing required field: {key!r}")
-    return payload[key]
+def _session_config(
+    default_engine: str | None,
+    pipeline_config: PipelineConfig | None,
+    session_config: SessionConfig | None,
+) -> SessionConfig:
+    """Fold the legacy ``(engine, PipelineConfig)`` wiring into one
+    :class:`SessionConfig` (the pre-API constructor signature still works).
 
-
-def _optional_top_k(payload: dict) -> int | None:
-    top_k = payload.get("top_k")
-    if top_k is None:
-        return None
-    if not isinstance(top_k, int) or top_k < 1:
-        raise BadRequestError("top_k must be a positive integer")
-    return top_k
+    An explicit ``default_engine`` wins; otherwise the session config's own
+    engine stands (``default_engine=None`` means "not specified").
+    """
+    if session_config is not None:
+        engine = default_engine if default_engine is not None else session_config.engine
+        if session_config.engine != engine:
+            session_config = replace(session_config, engine=engine)
+        return session_config
+    engine = default_engine if default_engine is not None else "batched"
+    if pipeline_config is None:
+        return SessionConfig(engine=engine)
+    return SessionConfig(
+        engine=engine,
+        workers=pipeline_config.workers,
+        batch_size=pipeline_config.batch_size,
+        cache_size=pipeline_config.cache_size,
+        compiled_cache_size=pipeline_config.compiled_cache_size,
+        annotator=replace(pipeline_config.annotator, engine=engine),
+    )
 
 
 class ServeState:
@@ -85,149 +93,43 @@ class ServeState:
     def __init__(
         self,
         bundle: LoadedBundle,
-        default_engine: str = "batched",
+        default_engine: str | None = None,
         pipeline_config: PipelineConfig | None = None,
         metrics_window: int = 2048,
+        session_config: SessionConfig | None = None,
     ) -> None:
-        if default_engine not in ENGINES:
-            raise ValueError(f"unknown engine: {default_engine!r}")
+        config = _session_config(default_engine, pipeline_config, session_config)
+        self.session = ReproSession.from_bundle(bundle, config=config)
         self.bundle = bundle
         self.catalog = bundle.catalog
         self.model = bundle.model
-        self.index: AnnotatedTableIndex = bundle.table_index
-        self.default_engine = default_engine
-        self._base_config = (
-            pipeline_config if pipeline_config is not None else PipelineConfig()
-        )
-        # one generator (hence one frozen lemma index) shared by every
-        # engine's pipeline — loaded straight from the bundle, never rebuilt
-        self._generator = CandidateGenerator(
-            self.catalog,
-            top_k_entities=self._base_config.annotator.top_k_entities,
-            max_type_candidates=self._base_config.annotator.max_type_candidates,
-            lemma_index=bundle.lemma_index,
-            lemma_tfidf=bundle.lemma_tfidf,
-        )
-        self._pipelines: dict[str, AnnotationPipeline] = {}
-        self._pipeline_lock = threading.Lock()
-        self._timings_lock = threading.Lock()
+        self.index = bundle.table_index
+        self.default_engine = config.engine
         self.metrics = MetricsRegistry(window_size=metrics_window)
 
-        lemma_resolver = build_lemma_resolver(self.catalog)
-        self._searchers = {
-            True: AnnotatedSearcher(
-                self.index,
-                self.catalog,
-                use_relations=True,
-                lemma_resolver=lemma_resolver,
-            ),
-            False: AnnotatedSearcher(
-                self.index,
-                self.catalog,
-                use_relations=False,
-                lemma_resolver=lemma_resolver,
-            ),
-        }
-        self._join_searcher = JoinSearcher(
-            self.index, self.catalog, lemma_resolver=lemma_resolver
-        )
-        # warm the default engine so the first request pays nothing extra
-        self.pipeline(default_engine)
-
     # ------------------------------------------------------------------
-    # pipelines
+    # pipelines (kept for introspection / tests)
     # ------------------------------------------------------------------
     def pipeline(self, engine: str) -> AnnotationPipeline:
-        """The shared pipeline for ``engine`` (built lazily, then reused)."""
-        if engine not in ENGINES:
-            raise BadRequestError(
-                f"unknown engine: {engine!r} (choose from {', '.join(ENGINES)})"
-            )
-        pipeline = self._pipelines.get(engine)
-        if pipeline is not None:
-            return pipeline
-        with self._pipeline_lock:
-            pipeline = self._pipelines.get(engine)
-            if pipeline is None:
-                config = replace(
-                    self._base_config,
-                    annotator=replace(self._base_config.annotator, engine=engine),
-                )
-                pipeline = AnnotationPipeline(
-                    self.catalog,
-                    model=self.model,
-                    config=config,
-                    candidate_generator=self._generator,
-                )
-                self._pipelines[engine] = pipeline
-            return pipeline
-
-    def _trim_timing_ledger(self, pipeline: AnnotationPipeline) -> None:
-        timings = pipeline.annotator.timings
-        if len(timings) > MAX_TIMING_LEDGER:
-            with self._timings_lock:
-                if len(timings) > MAX_TIMING_LEDGER:
-                    timings.clear()
+        """The session's shared pipeline for ``engine``."""
+        return self.session.pipeline(engine)
 
     # ------------------------------------------------------------------
-    # request handlers (transport-independent)
+    # request handlers: decode -> session -> encode
     # ------------------------------------------------------------------
     def annotate_payload(self, payload: dict) -> dict:
-        """Handle one ``/annotate`` body: ``{"table": {...}, "engine"?}``."""
-        table_payload = _require(payload, "table")
-        try:
-            table = Table.from_dict(table_payload)
-        except (KeyError, TypeError, ValueError) as error:
-            raise BadRequestError(f"invalid table payload: {error}")
-        engine = payload.get("engine") or self.default_engine
-        pipeline = self.pipeline(engine)
-        annotation = pipeline.annotate(table)
-        self._trim_timing_ledger(pipeline)
-        timing = annotation.diagnostics.get("timing")
-        return {
-            "table_id": table.table_id,
-            "engine": engine,
-            "annotation": annotation_to_dict(annotation),
-            "diagnostics": {
-                "iterations": annotation.diagnostics.get("iterations"),
-                "converged": annotation.diagnostics.get("converged"),
-                "n_variables": annotation.diagnostics.get("n_variables"),
-                "n_factors": annotation.diagnostics.get("n_factors"),
-            },
-            "timing_seconds": (
-                {
-                    "total": timing.total_seconds,
-                    "candidates": timing.candidate_seconds,
-                    "inference": timing.inference_seconds,
-                }
-                if timing is not None
-                else None
-            ),
-        }
+        """Handle one ``/annotate`` body."""
+        return self.session.annotate(AnnotateRequest.from_json(payload)).to_json()
 
     def search_payload(self, payload: dict) -> dict:
-        """Handle one ``/search`` body: ``{"relation", "entity", ...}``."""
-        relation_id = _require(payload, "relation")
-        entity_id = _require(payload, "entity")
-        use_relations = bool(payload.get("use_relations", True))
-        try:
-            query = RelationQuery.from_catalog(self.catalog, relation_id, entity_id)
-        except CatalogError as error:
-            raise BadRequestError(str(error))
-        response = self._searchers[use_relations].search(query)
-        return response_to_dict(response, top_k=_optional_top_k(payload))
+        """Handle one ``/search`` body."""
+        return self.session.search(SearchRequest.from_json(payload)).to_json()
 
     def search_join_payload(self, payload: dict) -> dict:
         """Handle one ``/search/join`` body (two-hop join queries)."""
-        first = _require(payload, "first_relation")
-        second = _require(payload, "second_relation")
-        entity_id = _require(payload, "entity")
-        try:
-            query = JoinQuery.from_catalog(self.catalog, first, second, entity_id)
-        except (CatalogError, ValueError) as error:
-            raise BadRequestError(str(error))
-        response = self._join_searcher.search(query)
-        return response_to_dict(response, top_k=_optional_top_k(payload))
+        return self.session.join_search(
+            JoinSearchRequest.from_json(payload)
+        ).to_json()
 
     # ------------------------------------------------------------------
     # introspection
@@ -235,6 +137,7 @@ class ServeState:
     def healthz(self) -> dict:
         return {
             "status": "ok",
+            "schema_version": SCHEMA_VERSION,
             "bundle": str(self.bundle.path),
             "tables": len(self.index),
             "default_engine": self.default_engine,
@@ -244,10 +147,9 @@ class ServeState:
 
     def metrics_snapshot(self) -> dict:
         snapshot = self.metrics.snapshot()
+        snapshot["schema_version"] = SCHEMA_VERSION
         caches: dict[str, dict] = {}
-        with self._pipeline_lock:
-            pipelines = dict(self._pipelines)
-        for engine, pipeline in sorted(pipelines.items()):
+        for engine, pipeline in sorted(self.session.pipelines().items()):
             entry: dict[str, dict] = {}
             for cache_name, cache in (
                 ("candidate_cache", pipeline.cache),

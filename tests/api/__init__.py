@@ -1,0 +1,1 @@
+"""Tests for the typed public API layer (repro.api)."""

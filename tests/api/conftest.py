@@ -1,0 +1,49 @@
+"""Fixtures for the typed API tests: one tiny world, corpus and session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.session import ReproSession
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+
+
+@pytest.fixture(scope="session")
+def api_corpus(tiny_world):
+    """A small labeled corpus over the tiny world."""
+    generator = WebTableGenerator(
+        tiny_world.full,
+        TableGeneratorConfig(seed=47, n_tables=6, noise=NoiseProfile.WIKI),
+    )
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def api_session(tiny_world, api_corpus):
+    """One indexed world session shared by the read-only API tests."""
+    session = ReproSession.from_world(tiny_world.annotator_view)
+    session.index_corpus(api_corpus)
+    return session
+
+
+def find_productive_query(world, index) -> tuple[str, str]:
+    """A (relation, entity) pair whose Type+Rel search returns answers."""
+    for relation_id, edges in sorted(index._edges_by_relation.items()):
+        if relation_id not in world.annotator_view.relations:
+            continue
+        for edge in edges:
+            annotation = index.annotations.get(edge.table_id)
+            if annotation is None:
+                continue
+            table = index.tables[edge.table_id]
+            for row in range(table.n_rows):
+                entity_id = annotation.entity_of(row, edge.object_column)
+                if entity_id is not None and entity_id in (
+                    world.annotator_view.entities
+                ):
+                    return relation_id, entity_id
+    raise AssertionError("no productive (relation, entity) query in the corpus")

@@ -1,0 +1,251 @@
+"""Behaviour of the :class:`ReproSession` facade and its error taxonomy."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.config import SessionConfig, validate_engine
+from repro.api.errors import ApiError
+from repro.api.session import ReproSession
+from repro.api.types import (
+    AnnotateRequest,
+    BundleBuildRequest,
+    JoinSearchRequest,
+    SearchRequest,
+    TrainRequest,
+    encode_json,
+)
+from repro.catalog.io import save_catalog_json
+from repro.core.model import AnnotationModel
+from repro.pipeline.io import annotation_to_dict
+from repro.pipeline.pipeline import AnnotationPipeline
+from repro.tables.corpus import TableCorpus, save_corpus_jsonl
+from tests.api.conftest import find_productive_query
+
+
+class TestSessionConfig:
+    def test_roundtrip_json(self):
+        config = SessionConfig(engine="scalar", workers=2, cache_size=10)
+        assert SessionConfig.from_json(config.to_json()) == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ApiError) as excinfo:
+            SessionConfig.from_json({"no_such_knob": 1})
+        assert excinfo.value.code == "validation_error"
+
+    def test_bad_engine_rejected_everywhere(self):
+        for build in (
+            lambda: SessionConfig(engine="quantum"),
+            lambda: validate_engine("quantum"),
+            lambda: SessionConfig().pipeline_config("quantum"),
+        ):
+            with pytest.raises(ApiError) as excinfo:
+                build()
+            assert excinfo.value.code == "unknown_engine"
+            # the message must name the valid engines
+            assert "batched" in excinfo.value.message
+            assert "scalar" in excinfo.value.message
+
+    def test_pipeline_config_carries_engine(self):
+        config = SessionConfig(engine="batched").pipeline_config("scalar")
+        assert config.annotator.engine == "scalar"
+
+
+class TestAnnotate:
+    def test_matches_direct_pipeline(self, tiny_world, api_session, api_corpus):
+        reference = AnnotationPipeline(tiny_world.annotator_view)
+        for labeled in api_corpus[:3]:
+            response = api_session.annotate(AnnotateRequest(table=labeled.table))
+            expected = annotation_to_dict(reference.annotate(labeled.table))
+            assert response.annotation == expected
+            assert response.table_id == labeled.table_id
+            assert response.engine == "batched"
+            assert response.timing_seconds["total"] > 0
+
+    def test_engine_override_and_timing_opt_out(self, api_session, api_corpus):
+        table = api_corpus[0].table
+        batched = api_session.annotate(
+            AnnotateRequest(table=table, include_timing=False)
+        )
+        scalar = api_session.annotate(
+            AnnotateRequest(table=table, engine="scalar", include_timing=False)
+        )
+        assert batched.timing_seconds is None
+        assert scalar.engine == "scalar"
+        assert scalar.annotation == batched.annotation
+
+    def test_unknown_engine_code(self, api_session, api_corpus):
+        with pytest.raises(ApiError) as excinfo:
+            api_session.annotate(
+                AnnotateRequest(table=api_corpus[0].table, engine="quantum")
+            )
+        assert excinfo.value.code == "unknown_engine"
+        assert excinfo.value.http_status == 400
+
+
+class TestSearch:
+    def test_search_matches_direct_searcher(
+        self, tiny_world, api_session
+    ):
+        relation_id, entity_id = find_productive_query(
+            tiny_world, api_session.index
+        )
+        response = api_session.search(
+            SearchRequest(relation=relation_id, entity=entity_id)
+        )
+        assert response.answers
+        assert response.tables_considered > 0
+
+    def test_top_k_trims(self, tiny_world, api_session):
+        relation_id, entity_id = find_productive_query(
+            tiny_world, api_session.index
+        )
+        trimmed = api_session.search(
+            SearchRequest(relation=relation_id, entity=entity_id, top_k=1)
+        )
+        assert len(trimmed.answers) <= 1
+
+    def test_unknown_relation_code(self, api_session):
+        with pytest.raises(ApiError) as excinfo:
+            api_session.search(
+                SearchRequest(relation="rel:nope", entity="ent:nope")
+            )
+        assert excinfo.value.code == "unknown_id"
+
+    def test_no_index_code(self, tiny_world):
+        session = ReproSession.from_world(tiny_world.annotator_view)
+        with pytest.raises(ApiError) as excinfo:
+            session.search(SearchRequest(relation="rel:x", entity="ent:x"))
+        assert excinfo.value.code == "no_index"
+        assert excinfo.value.http_status == 409
+
+    def test_join_incompatible_types_code(self, tiny_world, api_session):
+        catalog = tiny_world.annotator_view
+        relations = list(catalog.relations.all_relations())
+        incompatible = None
+        for first in relations:
+            for second in relations:
+                compatible = catalog.types.is_subtype(
+                    second.subject_type, first.object_type
+                ) or catalog.types.is_subtype(
+                    first.object_type, second.subject_type
+                )
+                if not compatible:
+                    incompatible = (first, second)
+                    break
+            if incompatible:
+                break
+        if incompatible is None:
+            pytest.skip("all relation pairs joinable in the tiny world")
+        entity = sorted(
+            catalog.relations.participating_objects(
+                incompatible[1].relation_id
+            )
+        )
+        if not entity:
+            pytest.skip("no participating object for the second relation")
+        with pytest.raises(ApiError) as excinfo:
+            api_session.join_search(
+                JoinSearchRequest(
+                    first_relation=incompatible[0].relation_id,
+                    second_relation=incompatible[1].relation_id,
+                    entity=entity[0],
+                )
+            )
+        assert excinfo.value.code == "invalid_query"
+
+
+class TestWorldLoading:
+    def test_from_world_directory(self, tiny_world, tmp_path):
+        world_dir = tmp_path / "world"
+        world_dir.mkdir()
+        save_catalog_json(tiny_world.annotator_view, world_dir / "catalog_view.json")
+        session = ReproSession.from_world(world_dir)
+        assert session.catalog.name == tiny_world.annotator_view.name
+
+    def test_from_world_missing_paths(self, tmp_path):
+        with pytest.raises(ApiError) as excinfo:
+            ReproSession.from_world(tmp_path / "nope.json")
+        assert excinfo.value.code == "io_error"
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ApiError) as excinfo:
+            ReproSession.from_world(empty)
+        assert excinfo.value.code == "io_error"
+
+
+class TestTrainAndBundle:
+    @pytest.fixture()
+    def world_files(self, tiny_world, api_corpus, tmp_path):
+        catalog_path = tmp_path / "catalog_view.json"
+        corpus_path = tmp_path / "corpus.jsonl"
+        save_catalog_json(tiny_world.annotator_view, catalog_path)
+        save_corpus_jsonl(TableCorpus(list(api_corpus)), corpus_path)
+        return catalog_path, corpus_path
+
+    def test_train_writes_model(self, world_files, tmp_path):
+        catalog_path, corpus_path = world_files
+        session = ReproSession.from_world(catalog_path)
+        model_path = tmp_path / "model.json"
+        response = session.train(
+            TrainRequest(
+                corpus_path=str(corpus_path),
+                epochs=1,
+                output_path=str(model_path),
+            )
+        )
+        assert response.n_tables == 6
+        assert response.epochs == 1
+        assert model_path.exists()
+        assert AnnotationModel.load(model_path).fingerprint() == (
+            response.model_fingerprint
+        )
+        # the session's own model is untouched by training
+        assert session.model.fingerprint() != response.model_fingerprint
+
+    def test_train_missing_corpus_code(self, world_files):
+        catalog_path, _corpus_path = world_files
+        session = ReproSession.from_world(catalog_path)
+        with pytest.raises(ApiError) as excinfo:
+            session.train(TrainRequest(corpus_path="/does/not/exist.jsonl"))
+        assert excinfo.value.code == "io_error"
+
+    def test_bundle_roundtrip_matches_world_session(
+        self, tiny_world, api_corpus, world_files, tmp_path
+    ):
+        catalog_path, corpus_path = world_files
+        world_session = ReproSession.from_world(catalog_path)
+        response = world_session.build_bundle(
+            BundleBuildRequest(
+                corpus_path=str(corpus_path), output_path=str(tmp_path / "bundle")
+            )
+        )
+        assert response.n_tables == len(api_corpus)
+        assert response.n_files > 0
+
+        bundle_session = ReproSession.from_bundle(tmp_path / "bundle")
+        assert bundle_session.index is not None
+        assert len(bundle_session.index) == len(api_corpus)
+        for labeled in api_corpus[:2]:
+            request = AnnotateRequest(table=labeled.table, include_timing=False)
+            assert encode_json(
+                bundle_session.annotate(request).to_json()
+            ) == encode_json(world_session.annotate(request).to_json())
+
+        relation_id, entity_id = find_productive_query(
+            tiny_world, bundle_session.index
+        )
+        search = SearchRequest(relation=relation_id, entity=entity_id)
+        world_session.index_corpus(str(corpus_path))
+        assert json.loads(
+            encode_json(bundle_session.search(search).to_json())
+        ) == json.loads(encode_json(world_session.search(search).to_json()))
+
+    def test_describe_reports_identity(self, api_session):
+        info = api_session.describe()
+        assert info["schema_version"] == 1
+        assert info["default_engine"] == "batched"
+        assert info["tables"] == 6
+        assert "batched" in info["engines"]

@@ -35,6 +35,7 @@ class TestHealthAndMetrics:
         status, payload = request(*running_server, "GET", "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
+        assert payload["schema_version"] == 1
         assert payload["tables"] == len(serve_corpus)
         assert payload["default_engine"] == "batched"
 
@@ -43,6 +44,7 @@ class TestHealthAndMetrics:
         request(host, port, "GET", "/healthz")
         status, payload = request(host, port, "GET", "/metrics")
         assert status == 200
+        assert payload["schema_version"] == 1
         assert payload["uptime_seconds"] >= 0
         healthz = payload["endpoints"]["healthz"]
         assert healthz["requests"] >= 1
@@ -99,7 +101,9 @@ class TestAnnotateEndpoint:
             *running_server, "POST", "/annotate", {"table": {"cells": [["x"]]}}
         )
         assert status == 400
-        assert "invalid table payload" in payload["error"]
+        assert payload["schema_version"] == 1
+        assert payload["error"]["code"] == "invalid_table"
+        assert "invalid table payload" in payload["error"]["message"]
 
     def test_unknown_engine(self, running_server, serve_corpus):
         status, payload = request(
@@ -109,7 +113,8 @@ class TestAnnotateEndpoint:
             {"table": serve_corpus[0].table.to_dict(), "engine": "quantum"},
         )
         assert status == 400
-        assert "unknown engine" in payload["error"]
+        assert payload["error"]["code"] == "unknown_engine"
+        assert "unknown engine" in payload["error"]["message"]
 
 
 class TestSearchEndpoints:
@@ -152,12 +157,14 @@ class TestSearchEndpoints:
             {"relation": "rel:nope", "entity": "ent:nope"},
         )
         assert status == 400
-        assert "unknown" in payload["error"]
+        assert payload["error"]["code"] == "unknown_id"
+        assert "unknown" in payload["error"]["message"]
 
     def test_missing_field_is_400(self, running_server):
         status, payload = request(*running_server, "POST", "/search", {})
         assert status == 400
-        assert "missing required field" in payload["error"]
+        assert payload["error"]["code"] == "validation_error"
+        assert "missing required field" in payload["error"]["message"]
 
     def test_join_endpoint_answers(self, running_server, serve_state):
         # derive a valid join query from the catalog's relation schemas
@@ -188,6 +195,7 @@ class TestSearchEndpoints:
                 )
                 assert status == 200
                 assert set(payload) == {
+                    "schema_version",
                     "answers",
                     "tables_considered",
                     "rows_matched",
@@ -221,12 +229,14 @@ class TestRouting:
         finally:
             conn.close()
         assert response.status == 400
-        assert "invalid JSON" in payload["error"]
+        assert payload["error"]["code"] == "bad_request"
+        assert "invalid JSON" in payload["error"]["message"]
 
     def test_empty_body_rejected(self, running_server):
         status, payload = request(*running_server, "POST", "/search")
         assert status == 400
-        assert "body required" in payload["error"]
+        assert payload["error"]["code"] == "bad_request"
+        assert "body required" in payload["error"]["message"]
 
     def test_invalid_content_length_is_400(self, running_server):
         host, port = running_server
@@ -240,7 +250,7 @@ class TestRouting:
         finally:
             conn.close()
         assert response.status == 400
-        assert "Content-Length" in payload["error"]
+        assert "Content-Length" in payload["error"]["message"]
 
     def test_error_with_unread_body_does_not_desync_keepalive(
         self, running_server
@@ -270,6 +280,27 @@ class TestRouting:
         status, payload = request(host, port, "GET", "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
+
+
+class TestServeStateConfig:
+    def test_session_config_engine_respected(self, loaded_bundle):
+        """An explicit SessionConfig engine stands when default_engine is
+        unset; an explicit default_engine wins when both are given."""
+        from repro.api import SessionConfig
+        from repro.serve.state import ServeState
+
+        state = ServeState(
+            loaded_bundle, session_config=SessionConfig(engine="scalar")
+        )
+        assert state.default_engine == "scalar"
+        assert state.healthz()["default_engine"] == "scalar"
+
+        explicit = ServeState(
+            loaded_bundle,
+            default_engine="batched",
+            session_config=SessionConfig(engine="scalar"),
+        )
+        assert explicit.default_engine == "batched"
 
 
 class TestConcurrentDeterminism:

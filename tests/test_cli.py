@@ -257,6 +257,82 @@ class TestAugment:
         assert after.stats()["tuples"] >= before.stats()["tuples"]
 
 
+class TestWireMode:
+    def test_wire_lines_are_annotate_responses(self, world_dir, capsys):
+        """--wire streams one AnnotateResponse wire payload per table."""
+        from repro.api import AnnotateResponse
+
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--wire",
+            ]
+        )
+        assert exit_code == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert len(lines) == 4
+        for line in lines:
+            response = AnnotateResponse.from_json(json.loads(line))
+            assert response.engine == "batched"
+            assert response.timing_seconds is None
+
+    def test_wire_annotations_match_plain_mode(self, world_dir, tmp_path, capsys):
+        json_output = tmp_path / "annotations.json"
+        base = [
+            "annotate",
+            "--catalog",
+            str(world_dir / "catalog_view.json"),
+            "--corpus",
+            str(world_dir / "corpus.jsonl"),
+        ]
+        assert main(base + ["--output", str(json_output)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--wire"]) == 0
+        wire_lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        plain = json.loads(json_output.read_text())
+        assert [entry["annotation"] for entry in wire_lines] == plain
+
+
+class TestApiErrorExit:
+    def test_wire_and_jsonl_mutually_exclusive(self, world_dir, capsys):
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(world_dir / "catalog_view.json"),
+                "--corpus",
+                str(world_dir / "corpus.jsonl"),
+                "--wire",
+                "--jsonl",
+            ]
+        )
+        assert exit_code == 1
+        assert "error [validation_error]" in capsys.readouterr().err
+
+    def test_missing_catalog_exits_nonzero(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "annotate",
+                "--catalog",
+                str(tmp_path / "nope.json"),
+                "--corpus",
+                str(tmp_path / "nope.jsonl"),
+            ]
+        )
+        assert exit_code == 1
+        assert "error [io_error]" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
