@@ -27,7 +27,9 @@ from repro.api.errors import ApiError, BadRequestError, to_api_error
 from repro.api.config import (
     SearchConfig,
     SessionConfig,
+    VALID_CANDIDATE_ENGINES,
     VALID_ENGINES,
+    validate_candidate_engine,
     validate_engine,
 )
 from repro.api.session import ReproSession
@@ -49,6 +51,7 @@ from repro.api.types import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "VALID_CANDIDATE_ENGINES",
     "VALID_ENGINES",
     "WIRE_TYPES",
     "AnnotateRequest",
@@ -68,5 +71,6 @@ __all__ = [
     "TrainResponse",
     "encode_json",
     "to_api_error",
+    "validate_candidate_engine",
     "validate_engine",
 ]

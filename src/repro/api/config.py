@@ -22,11 +22,16 @@ from typing import Any, Mapping
 from repro.api import errors
 from repro.api.errors import ApiError
 from repro.core.annotator import AnnotatorConfig
+from repro.core.candidates import CANDIDATE_ENGINES
 from repro.core.inference import ENGINES
 from repro.pipeline.pipeline import PipelineConfig
 
 #: the engine registry, re-exported so frontends need no core import
 VALID_ENGINES: tuple[str, ...] = tuple(ENGINES)
+
+#: the candidate-engine registry (same shape: "batched" default, "scalar"
+#: reference), re-exported for the CLI's argparse choices
+VALID_CANDIDATE_ENGINES: tuple[str, ...] = tuple(CANDIDATE_ENGINES)
 
 
 def validate_engine(engine: str) -> str:
@@ -38,6 +43,17 @@ def validate_engine(engine: str) -> str:
             f"{', '.join(VALID_ENGINES)})",
         )
     return engine
+
+
+def validate_candidate_engine(candidate_engine: str) -> str:
+    """The one candidate-engine-name check (mirrors :func:`validate_engine`)."""
+    if candidate_engine not in VALID_CANDIDATE_ENGINES:
+        raise ApiError(
+            errors.UNKNOWN_ENGINE,
+            f"unknown candidate engine: {candidate_engine!r} (valid candidate "
+            f"engines: {', '.join(VALID_CANDIDATE_ENGINES)})",
+        )
+    return candidate_engine
 
 
 @dataclass
@@ -62,11 +78,14 @@ class SessionConfig:
 
     Composes the per-subsystem configs (annotator + pipeline + search) that
     the CLI used to thread by hand, plus the session-level defaults (which
-    inference engine, how much caching).  ``engine`` is the *default*
-    engine; requests may still override it per call.
+    inference engine, which candidate engine, how much caching).  ``engine``
+    is the *default* engine; requests may still override it per call.
+    ``candidate_engine`` selects the candidate-generation path the same way
+    ("batched" array programs by default, "scalar" per-cell reference).
     """
 
     engine: str = "batched"
+    candidate_engine: str = "batched"
     workers: int = 1
     batch_size: int = 16
     cache_size: int = 100_000
@@ -76,6 +95,7 @@ class SessionConfig:
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
+        validate_candidate_engine(self.candidate_engine)
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.batch_size < 1:
@@ -88,15 +108,26 @@ class SessionConfig:
     # ------------------------------------------------------------------
     # derived configs
     # ------------------------------------------------------------------
-    def pipeline_config(self, engine: str | None = None) -> PipelineConfig:
-        """The :class:`PipelineConfig` for one engine (default: session's)."""
+    def pipeline_config(
+        self,
+        engine: str | None = None,
+        candidate_engine: str | None = None,
+    ) -> PipelineConfig:
+        """The :class:`PipelineConfig` for one engine pair (default: session's)."""
         engine = validate_engine(engine if engine is not None else self.engine)
+        candidate_engine = validate_candidate_engine(
+            candidate_engine
+            if candidate_engine is not None
+            else self.candidate_engine
+        )
         return PipelineConfig(
             batch_size=self.batch_size,
             workers=self.workers,
             cache_size=self.cache_size,
             compiled_cache_size=self.compiled_cache_size,
-            annotator=dataclasses.replace(self.annotator, engine=engine),
+            annotator=dataclasses.replace(
+                self.annotator, engine=engine, candidate_engine=candidate_engine
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -105,6 +136,7 @@ class SessionConfig:
     def to_json(self) -> dict[str, Any]:
         return {
             "engine": self.engine,
+            "candidate_engine": self.candidate_engine,
             "workers": self.workers,
             "batch_size": self.batch_size,
             "cache_size": self.cache_size,
@@ -143,7 +175,13 @@ class SessionConfig:
         """Build from the CLI's shared pipeline flags (missing flags keep
         their defaults, so every command reuses this)."""
         kwargs: dict[str, Any] = {}
-        for flag in ("engine", "workers", "batch_size", "cache_size"):
+        for flag in (
+            "engine",
+            "candidate_engine",
+            "workers",
+            "batch_size",
+            "cache_size",
+        ):
             value = getattr(args, flag, None)
             if value is not None:
                 kwargs[flag] = value

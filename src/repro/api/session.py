@@ -5,10 +5,11 @@ system the same way: open a session, hand it typed requests, get typed
 responses back.  A session owns
 
 * the catalog and model,
-* one warm :class:`~repro.pipeline.AnnotationPipeline` **per engine**
-  (built lazily behind a lock, then shared — the candidate / feature-block /
-  compiled-graph caches are engine-local but the candidate generator and its
-  frozen lemma index are shared by all engines),
+* one warm :class:`~repro.pipeline.AnnotationPipeline` **per engine pair**
+  (BP engine × candidate engine, built lazily behind a lock, then shared —
+  the candidate / feature-block / compiled-graph caches are pipeline-local
+  but the candidate generator, its frozen lemma index and the batched
+  engine's interned candidate tables are shared by all pipelines),
 * the annotated table index plus both search processors and the join
   processor (built lazily once an index exists).
 
@@ -35,7 +36,11 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.api import errors
-from repro.api.config import SessionConfig, validate_engine
+from repro.api.config import (
+    SessionConfig,
+    validate_candidate_engine,
+    validate_engine,
+)
 from repro.api.errors import ApiError, to_api_error
 from repro.api.types import (
     AnnotateRequest,
@@ -53,6 +58,10 @@ from repro.catalog.errors import CatalogError
 from repro.catalog.io import load_catalog_json
 from repro.core.annotation import TableAnnotation
 from repro.core.candidates import CandidateGenerator
+from repro.core.candidates_batched import (
+    BatchedCandidateEngine,
+    InternedCandidateTables,
+)
 from repro.core.model import AnnotationModel, default_model
 from repro.pipeline.io import annotation_to_dict, iter_corpus_jsonl
 from repro.pipeline.pipeline import AnnotationPipeline
@@ -84,8 +93,9 @@ class ReproSession:
         self.bundle = bundle
         self.catalog = catalog
         self.model = model if model is not None else default_model()
-        self._pipelines: dict[str, AnnotationPipeline] = {}
+        self._pipelines: dict[tuple[str, str], AnnotationPipeline] = {}
         self._pipeline_lock = threading.Lock()
+        self._batched_engine: BatchedCandidateEngine | None = None
         self._timings_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._generator: CandidateGenerator | None = None
@@ -175,26 +185,38 @@ class ReproSession:
             max_type_candidates=annotator_config.max_type_candidates,
         )
 
-    def pipeline(self, engine: str | None = None) -> AnnotationPipeline:
-        """The shared pipeline for ``engine`` (built lazily, then reused)."""
+    def pipeline(
+        self,
+        engine: str | None = None,
+        candidate_engine: str | None = None,
+    ) -> AnnotationPipeline:
+        """The shared pipeline for one engine pair (built lazily, then reused)."""
         engine = validate_engine(engine if engine is not None else self.config.engine)
-        pipeline = self._pipelines.get(engine)
+        candidate_engine = validate_candidate_engine(
+            candidate_engine
+            if candidate_engine is not None
+            else self.config.candidate_engine
+        )
+        key = (engine, candidate_engine)
+        pipeline = self._pipelines.get(key)
         if pipeline is not None:
             return pipeline
         with self._pipeline_lock:
-            pipeline = self._pipelines.get(engine)
+            pipeline = self._pipelines.get(key)
             if pipeline is None:
                 pipeline = AnnotationPipeline(
                     self.catalog,
                     model=self.model,
-                    config=self.config.pipeline_config(engine),
-                    candidate_generator=self._shared_generator(),
+                    config=self.config.pipeline_config(engine, candidate_engine),
+                    candidate_generator=self._candidate_generator_for(
+                        candidate_engine
+                    ),
                 )
-                self._pipelines[engine] = pipeline
+                self._pipelines[key] = pipeline
             return pipeline
 
     def _shared_generator(self) -> CandidateGenerator:
-        """The one generator every pipeline shares.
+        """The one scalar generator every pipeline shares.
 
         Built at most once: ``__init__`` warms the default pipeline, so the
         generator exists before any concurrent caller can reach this.
@@ -203,10 +225,46 @@ class ReproSession:
             self._generator = self._make_generator()
         return self._generator
 
+    def _candidate_generator_for(self, candidate_engine: str):
+        """The shared generator in the shape ``candidate_engine`` expects.
+
+        The batched engine's interned tables are built (or restored from the
+        bundle's ``candidates/`` arrays) once and shared by every batched
+        pipeline, exactly as the frozen lemma index is shared by all.
+        """
+        if candidate_engine != "batched":
+            return self._shared_generator()
+        if self._batched_engine is None:
+            tables = None
+            if self.bundle is not None and self.bundle.candidate_state is not None:
+                tables = InternedCandidateTables.from_state(
+                    self.bundle.candidate_state
+                )
+            self._batched_engine = BatchedCandidateEngine(
+                self._shared_generator(), tables=tables
+            )
+        return self._batched_engine
+
+    def _pipeline_name(self, key: tuple[str, str]) -> str:
+        """Public name of one warm pipeline.
+
+        The common case (the session's own candidate engine) keeps the plain
+        BP-engine name the serving metrics and health endpoints always used;
+        explicitly requested off-default candidate engines get a
+        ``engine/candidate_engine`` pair name.
+        """
+        engine, candidate_engine = key
+        if candidate_engine == self.config.candidate_engine:
+            return engine
+        return f"{engine}/{candidate_engine}"
+
     def pipelines(self) -> dict[str, AnnotationPipeline]:
-        """Snapshot of the warm pipelines, keyed by engine."""
+        """Snapshot of the warm pipelines, keyed by public pipeline name."""
         with self._pipeline_lock:
-            return dict(self._pipelines)
+            return {
+                self._pipeline_name(key): pipeline
+                for key, pipeline in self._pipelines.items()
+            }
 
     def _trim_timing_ledger(self, pipeline: AnnotationPipeline) -> None:
         timings = pipeline.annotator.timings
@@ -437,7 +495,9 @@ class ReproSession:
             self.catalog,
             model=default_model(),
             config=self.config.pipeline_config(),
-            candidate_generator=self._shared_generator(),
+            candidate_generator=self._candidate_generator_for(
+                self.config.candidate_engine
+            ),
         )
         try:
             trainer = StructuredTrainer(
@@ -497,6 +557,7 @@ class ReproSession:
         info: dict = {
             "schema_version": SCHEMA_VERSION,
             "default_engine": self.config.engine,
+            "default_candidate_engine": self.config.candidate_engine,
             "engines": sorted(self.pipelines()),
             "tables": len(self._index) if self._index is not None else 0,
             "model_sha256": self.model.fingerprint(),

@@ -35,7 +35,11 @@ import json
 import sys
 from pathlib import Path
 
-from repro.api.config import VALID_ENGINES, SessionConfig
+from repro.api.config import (
+    VALID_CANDIDATE_ENGINES,
+    VALID_ENGINES,
+    SessionConfig,
+)
 from repro.api.errors import ApiError
 from repro.api.session import ReproSession
 from repro.api.types import (
@@ -106,6 +110,13 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         default="batched",
         help="inference engine: batched (vectorised, default) or scalar "
         "(per-edge reference)",
+    )
+    parser.add_argument(
+        "--candidate-engine",
+        choices=VALID_CANDIDATE_ENGINES,
+        default="batched",
+        help="candidate-generation engine: batched (array-backed, default) "
+        "or scalar (per-cell reference)",
     )
 
 
@@ -335,7 +346,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         bundle,
         default_engine=args.engine,
         session_config=SessionConfig(
-            engine=args.engine, cache_size=args.cache_size
+            engine=args.engine,
+            candidate_engine=args.candidate_engine,
+            cache_size=args.cache_size,
         ),
     )
     server = create_server(
@@ -491,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=VALID_ENGINES,
         default="batched",
         help="default inference engine (requests may override per call)",
+    )
+    serve.add_argument(
+        "--candidate-engine",
+        choices=VALID_CANDIDATE_ENGINES,
+        default="batched",
+        help="candidate-generation engine for every request",
     )
     serve.add_argument(
         "--cache-size",

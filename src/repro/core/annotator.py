@@ -22,7 +22,11 @@ from dataclasses import dataclass
 from repro.catalog.catalog import Catalog
 from repro.core.annotation import TableAnnotation
 from repro.core.baselines import BaselineResult, LCAAnnotator, MajorityAnnotator
-from repro.core.candidates import CandidateGenerator
+from repro.core.candidates import CANDIDATE_ENGINES, CandidateGenerator
+from repro.core.candidates_batched import (
+    BatchedCandidateEngine,
+    BatchedFeatureComputer,
+)
 from repro.core.inference import InferenceConfig, annotate_collective
 from repro.core.model import AnnotationModel, default_model
 from repro.core.problem import (
@@ -51,6 +55,10 @@ class AnnotatorConfig:
     #: "batched" (vectorised block updates, default) or "scalar" (per-edge
     #: reference engine) — see :mod:`repro.graph.compiled`
     engine: str = "batched"
+    #: "batched" (array-backed candidate generation + feature assembly,
+    #: default) or "scalar" (per-cell reference) — see
+    #: :mod:`repro.core.candidates_batched`
+    candidate_engine: str = "batched"
 
     def inference_config(self) -> InferenceConfig:
         return InferenceConfig(
@@ -105,15 +113,19 @@ class TableAnnotator:
         catalog: Catalog,
         model: AnnotationModel | None = None,
         config: AnnotatorConfig | None = None,
-        candidate_generator: CandidateGenerator | None = None,
+        candidate_generator: CandidateGenerator | BatchedCandidateEngine | None = None,
     ) -> None:
         self.catalog = catalog
         self.model = model if model is not None else default_model()
         self.config = config if config is not None else AnnotatorConfig()
+        if self.config.candidate_engine not in CANDIDATE_ENGINES:
+            raise ValueError(
+                f"unknown candidate engine: {self.config.candidate_engine!r}"
+            )
         # a prebuilt generator skips the lemma-index build — the serving
         # layer passes one loaded straight from an artifact bundle, and
         # per-engine pipelines share one generator (hence one lemma index)
-        self.candidate_generator = (
+        generator = (
             candidate_generator
             if candidate_generator is not None
             else CandidateGenerator(
@@ -122,9 +134,22 @@ class TableAnnotator:
                 max_type_candidates=self.config.max_type_candidates,
             )
         )
-        self.features = FeatureComputer(
-            catalog, self.model.mode, self.candidate_generator
-        )
+        # the candidate_engine knob mirrors the BP engine split: "batched"
+        # wraps the scalar generator in the array-backed engine (reusing
+        # prebuilt interned tables when one was passed in), "scalar" keeps —
+        # or unwraps back to — the per-cell reference path
+        if self.config.candidate_engine == "batched":
+            if not isinstance(generator, BatchedCandidateEngine):
+                generator = BatchedCandidateEngine(generator)
+            self.candidate_generator = generator
+            self.features: FeatureComputer = BatchedFeatureComputer(
+                catalog, self.model.mode, generator, engine=generator
+            )
+        else:
+            if isinstance(generator, BatchedCandidateEngine):
+                generator = generator.scalar_generator
+            self.candidate_generator = generator
+            self.features = FeatureComputer(catalog, self.model.mode, generator)
         #: optional LRU for compiled factor graphs (set by the pipeline);
         #: lets recurring (table, model) pairs skip potential construction
         self.compiled_cache = None

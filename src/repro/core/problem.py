@@ -344,10 +344,27 @@ def build_problem(
     """
     cells: dict[tuple[int, int], CellSpace] = {}
     column_candidates: dict[int, list[list[CandidateEntity]]] = {}
+    # batch-capable generators (the batched candidate engine, the pipeline's
+    # caching front) resolve every cell of the table in one retrieval pass;
+    # the scalar reference generator probes per cell below
+    cell_candidates_batch = getattr(generator, "cell_candidates_batch", None)
+    batched: list[list[CandidateEntity]] | None = None
+    if cell_candidates_batch is not None:
+        batched = cell_candidates_batch(
+            [
+                table.cell(row, column)
+                for column in range(table.n_columns)
+                for row in range(table.n_rows)
+            ]
+        )
     for column in range(table.n_columns):
         per_row: list[list[CandidateEntity]] = []
         for row in range(table.n_rows):
-            candidates = generator.cell_candidates(table.cell(row, column))
+            candidates = (
+                batched[column * table.n_rows + row]
+                if batched is not None
+                else generator.cell_candidates(table.cell(row, column))
+            )
             per_row.append(candidates)
             if candidates:
                 f1 = features.f1_block(

@@ -226,6 +226,9 @@ class TimingReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
+    #: hits split by kind: exact surface form vs normalised-key-only
+    cache_raw_hits: int = 0
+    cache_normalized_hits: int = 0
 
 
 def timing_experiment(
@@ -259,6 +262,8 @@ def timing_experiment(
         cache_hits=cache.hits if cache else 0,
         cache_misses=cache.misses if cache else 0,
         cache_hit_rate=cache.hit_rate if cache else 0.0,
+        cache_raw_hits=cache.raw_hits if cache else 0,
+        cache_normalized_hits=cache.normalized_hits if cache else 0,
     )
 
 

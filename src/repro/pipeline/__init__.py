@@ -9,6 +9,7 @@ from repro.pipeline.cache import (
     CandidateCache,
     CachingCandidateGenerator,
     LRUCache,
+    normalized_cell_key,
 )
 from repro.pipeline.executor import execute_batches, iter_batches
 from repro.pipeline.io import (
@@ -37,6 +38,7 @@ __all__ = [
     "execute_batches",
     "iter_batches",
     "iter_corpus_jsonl",
+    "normalized_cell_key",
     "read_annotations_jsonl",
     "write_annotations_jsonl",
 ]

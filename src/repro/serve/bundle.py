@@ -10,15 +10,21 @@ serializes everything the query path needs —
   memory-mapped instead of re-running ``freeze()``), plus the matching
   TF-IDF table,
 * the corpus tables and their **pre-computed annotations** (full fidelity,
-  scores included), and
-* the annotated table index's frozen header/context text indexes,
+  scores included),
+* the annotated table index's frozen header/context text indexes, and
+* the batched candidate engine's **interned candidate tables** (entity /
+  type / relation id interning, type-ancestor arrays, packed pair→relations
+  and per-relation tuple keys — see
+  :class:`~repro.core.candidates_batched.InternedCandidateTables`), so a warm
+  server skips that build exactly as it skips ``freeze()``,
 
 under a ``manifest.json`` carrying the format version, per-file SHA-256
 content hashes and build statistics.  ``load_bundle`` verifies and restores
 all of it; startup cost drops from "re-annotate the corpus" to "read
 arrays" (the Figure-7 bench measures the ratio).
 
-Bundle layout::
+Bundle layout (format version 2 — version-1 bundles predate the candidate
+tables and are rejected with a rebuild hint)::
 
     bundle/
       manifest.json          version, hashes, identity, build stats
@@ -29,6 +35,8 @@ Bundle layout::
       annotations.jsonl      one full-fidelity annotation per line
       indexes/<name>.meta.json     tokens + document keys
       indexes/<name>.<field>.npy   offsets / doc_ids / weights / idf / doc_norm
+      candidates/interned.meta.json    entity / type / relation id lists
+      candidates/interned.<field>.npy  ancestor / pair / tuple arrays
 
 where ``<name>`` is ``lemma``, ``header`` or ``context``.
 """
@@ -46,6 +54,7 @@ import numpy as np
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.io import catalog_from_dict, catalog_to_dict
+from repro.core.candidates_batched import InternedCandidateTables
 from repro.core.model import AnnotationModel
 from repro.pipeline.io import annotation_from_payload, annotation_to_payload
 from repro.pipeline.pipeline import AnnotationPipeline, PipelineConfig
@@ -55,10 +64,21 @@ from repro.tables.model import LabeledTable, Table
 from repro.text.index import InvertedIndex
 from repro.text.tfidf import TfidfWeights
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 TEXT_INDEX_NAMES = ("lemma", "header", "context")
 _INDEX_FIELDS = ("offsets", "doc_ids", "weights", "idf", "doc_norm")
+_CANDIDATE_META_FIELDS = ("entity_ids", "type_ids", "relation_ids")
+_CANDIDATE_ARRAY_FIELDS = (
+    "anc_offsets",
+    "anc_flat",
+    "type_specificity",
+    "pair_keys",
+    "pair_offsets",
+    "pair_relations",
+    "tuple_offsets",
+    "tuple_keys_by_relation",
+)
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +174,41 @@ def _read_index_state(directory: Path, name: str, mmap: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
+# interned candidate tables <-> files
+# ----------------------------------------------------------------------
+def _write_candidate_state(directory: Path, state: dict) -> list[Path]:
+    """Persist the interned candidate tables; returns the files written."""
+    written = []
+    meta_path = directory / "interned.meta.json"
+    meta_path.write_text(
+        json.dumps(
+            {name: list(state[name]) for name in _CANDIDATE_META_FIELDS},
+            ensure_ascii=False,
+        ),
+        encoding="utf-8",
+    )
+    written.append(meta_path)
+    for field_name in _CANDIDATE_ARRAY_FIELDS:
+        array_path = directory / f"interned.{field_name}.npy"
+        np.save(array_path, np.asarray(state[field_name]))
+        written.append(array_path)
+    return written
+
+
+def _read_candidate_state(directory: Path, mmap: bool) -> dict:
+    meta = json.loads(
+        (directory / "interned.meta.json").read_text(encoding="utf-8")
+    )
+    state: dict = {name: meta[name] for name in _CANDIDATE_META_FIELDS}
+    mmap_mode = "r" if mmap else None
+    for field_name in _CANDIDATE_ARRAY_FIELDS:
+        state[field_name] = np.load(
+            directory / f"interned.{field_name}.npy", mmap_mode=mmap_mode
+        )
+    return state
+
+
+# ----------------------------------------------------------------------
 # build
 # ----------------------------------------------------------------------
 def build_bundle(
@@ -174,6 +229,7 @@ def build_bundle(
     output = Path(output)
     output.mkdir(parents=True, exist_ok=True)
     (output / "indexes").mkdir(exist_ok=True)
+    (output / "candidates").mkdir(exist_ok=True)
     if pipeline is None:
         pipeline = AnnotationPipeline(catalog, model=model, config=config)
     model = pipeline.model
@@ -219,6 +275,15 @@ def build_bundle(
     )
     index_files += _write_index_state(output / "indexes", "header", header_state)
     index_files += _write_index_state(output / "indexes", "context", context_state)
+    # the batched candidate engine's interned tables: reuse the pipeline's
+    # (it annotated the whole corpus with them) or build once from the
+    # catalog when the pipeline ran the scalar reference engine
+    interned = getattr(generator, "tables", None)
+    if interned is None:
+        interned = InternedCandidateTables.from_catalog(catalog)
+    index_files += _write_candidate_state(
+        output / "candidates", interned.to_state()
+    )
 
     report = pipeline.last_report
     manifest = BundleManifest(
@@ -272,6 +337,9 @@ class LoadedBundle:
     table_index: AnnotatedTableIndex
     lemma_index: InvertedIndex
     lemma_tfidf: TfidfWeights
+    #: interned candidate tables (candidates/ arrays) for the batched
+    #: candidate engine; restored via InternedCandidateTables.from_state
+    candidate_state: dict | None = None
 
 
 def read_manifest(path: str | Path) -> BundleManifest:
@@ -341,6 +409,7 @@ def load_bundle(
     context_index = InvertedIndex.from_state(
         _read_index_state(path / "indexes", "context", mmap)
     )
+    candidate_state = _read_candidate_state(path / "candidates", mmap)
 
     tables: list[Table] = []
     with (path / "tables.jsonl").open("r", encoding="utf-8") as handle:
@@ -365,4 +434,5 @@ def load_bundle(
         table_index=table_index,
         lemma_index=lemma_index,
         lemma_tfidf=lemma_tfidf,
+        candidate_state=candidate_state,
     )

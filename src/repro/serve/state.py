@@ -79,6 +79,7 @@ def _session_config(
         return SessionConfig(engine=engine)
     return SessionConfig(
         engine=engine,
+        candidate_engine=pipeline_config.annotator.candidate_engine,
         workers=pipeline_config.workers,
         batch_size=pipeline_config.batch_size,
         cache_size=pipeline_config.cache_size,

@@ -19,6 +19,18 @@ precomputes everything a query needs into flat arrays: per-token IDF values
 (document ids + IDF²-weighted counts) and the document norm vector.  A search
 is then one vectorised accumulate per query token.
 
+Two retrieval paths share those arrays:
+
+* :meth:`search` — the single-query reference.  It accumulates into a pooled
+  per-thread scratch vector (allocated once per index, touched entries reset
+  after each query) instead of a fresh dense ``np.zeros(n_docs)`` per call.
+* :meth:`search_batch` — the batch-first path used by the batched candidate
+  engine.  Each query is scored in a *compact* candidate-id space: the union
+  of its tokens' posting doc-ids, scattered per token, deduplicated per key
+  with ``np.maximum.reduceat`` and cut to top-k with a partition — no dense
+  allocation, no Python per-document loop.  Both paths return identical hits
+  (scores and ordering), which the equivalence tests assert.
+
 The frozen arrays are also the index's *serialization*:
 :meth:`InvertedIndex.to_state` exports them as flat concatenated vectors
 (tokens sorted, per-token slices described by an offsets array) and
@@ -32,9 +44,10 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -65,6 +78,13 @@ class InvertedIndex:
         self._idf: dict[str, float] = {}
         self._doc_norm: np.ndarray = np.zeros(0)
         self._token_arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # pooled scratch vectors for search(); one per thread so pipelines
+        # running workers > 1 never share an accumulator
+        self._scratch = threading.local()
+        # filled lazily by _ensure_key_arrays() (search_batch dedup arrays)
+        self._doc_key_id: np.ndarray | None = None
+        self._key_list: list[Hashable] = []
+        self._key_rank: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -198,6 +218,14 @@ class InvertedIndex:
     # ------------------------------------------------------------------
     # retrieval
     # ------------------------------------------------------------------
+    def _scratch_scores(self) -> np.ndarray:
+        """This thread's pooled score accumulator (zeros between queries)."""
+        scores = getattr(self._scratch, "scores", None)
+        if scores is None or len(scores) != len(self._doc_key):
+            scores = np.zeros(len(self._doc_key))
+            self._scratch.scores = scores
+        return scores
+
     def search(self, query: str, top_k: int = 10) -> list[IndexHit]:
         """Top-k documents by TF-IDF score, deduplicated by key (max score).
 
@@ -209,19 +237,25 @@ class InvertedIndex:
         query_counts = Counter(tokenize(query))
         if not query_counts:
             return []
-        scores = np.zeros(len(self._doc_key))
-        matched = False
-        for token, query_count in query_counts.items():
-            entry = self._token_arrays.get(token)
-            if entry is None:
-                continue
-            matched = True
-            doc_ids, weighted_counts = entry
-            scores[doc_ids] += query_count * weighted_counts
-        if not matched:
-            return []
-        hit_ids = np.flatnonzero(scores)
-        normalised = scores[hit_ids] / self._doc_norm[hit_ids]
+        scores = self._scratch_scores()
+        touched: list[np.ndarray] = []
+        try:
+            for token, query_count in query_counts.items():
+                entry = self._token_arrays.get(token)
+                if entry is None:
+                    continue
+                doc_ids, weighted_counts = entry
+                scores[doc_ids] += query_count * weighted_counts
+                touched.append(doc_ids)
+            if not touched:
+                return []
+            # same ascending hit-id order np.flatnonzero over the dense
+            # vector produced (every touched doc scores > 0: idf >= 1)
+            hit_ids = np.unique(np.concatenate(touched))
+            normalised = scores[hit_ids] / self._doc_norm[hit_ids]
+        finally:
+            for doc_ids in touched:
+                scores[doc_ids] = 0.0
         by_key: dict[Hashable, float] = {}
         for doc_id, score in zip(hit_ids.tolist(), normalised.tolist()):
             key = self._doc_key[doc_id]
@@ -231,6 +265,118 @@ class InvertedIndex:
             top_k, by_key.items(), key=lambda item: (item[1], str(item[0]))
         )
         return [IndexHit(key=key, score=score) for key, score in top]
+
+    # ------------------------------------------------------------------
+    # batched retrieval (compact candidate-id space)
+    # ------------------------------------------------------------------
+    def _ensure_key_arrays(self) -> None:
+        """Intern document keys for vectorised per-key dedup (idempotent).
+
+        ``_doc_key_id[d]`` is the interned id of document ``d``'s key;
+        ``_key_rank[k]`` is key ``k``'s position in the ``str(key)`` sort
+        order, the same tie-break :meth:`search` applies.
+
+        Thread-safe without a lock: concurrent first callers build identical
+        arrays, and ``_doc_key_id`` — the readiness gate — is published
+        *last*, so a reader that sees it non-None sees the other two fields.
+        """
+        if self._doc_key_id is not None:
+            return
+        key_ids: dict[Hashable, int] = {}
+        doc_key_id = np.zeros(len(self._doc_key), dtype=np.intp)
+        for doc_id, key in enumerate(self._doc_key):
+            interned = key_ids.get(key)
+            if interned is None:
+                interned = len(key_ids)
+                key_ids[key] = interned
+            doc_key_id[doc_id] = interned
+        key_list = list(key_ids)
+        rank = np.zeros(len(key_list), dtype=np.intp)
+        by_str = sorted(range(len(key_list)), key=lambda i: str(key_list[i]))
+        for position, key_index in enumerate(by_str):
+            rank[key_index] = position
+        self._key_list = key_list
+        self._key_rank = rank
+        self._doc_key_id = doc_key_id
+
+    def _search_compact(
+        self, query_counts: Counter[str], top_k: int
+    ) -> list[IndexHit]:
+        """One query scored over the union of its tokens' posting lists.
+
+        Accumulation order per document matches :meth:`search` exactly (one
+        scatter-add per query token, in query token order), so scores are
+        bit-identical to the dense path.
+        """
+        if top_k < 1:
+            return []
+        entries = []
+        for token, query_count in query_counts.items():
+            entry = self._token_arrays.get(token)
+            if entry is not None:
+                entries.append((query_count, entry))
+        if not entries:
+            return []
+        hit_ids = np.unique(np.concatenate([entry[0] for _, entry in entries]))
+        scores = np.zeros(len(hit_ids))
+        for query_count, (doc_ids, weighted_counts) in entries:
+            positions = np.searchsorted(hit_ids, doc_ids)
+            scores[positions] += query_count * weighted_counts
+        normalised = scores / self._doc_norm[hit_ids]
+        # per-key max score (vectorised version of search()'s dict pass)
+        assert self._doc_key_id is not None and self._key_rank is not None
+        key_ids = self._doc_key_id[hit_ids]
+        order = np.argsort(key_ids, kind="stable")
+        sorted_keys = key_ids[order]
+        group_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+        )
+        unique_keys = sorted_keys[group_starts]
+        best_scores = np.maximum.reduceat(normalised[order], group_starts)
+        # partition down to the top-k score threshold, keeping every tie at
+        # the boundary so the final (score, str(key)) sort stays exact
+        n_keys = len(unique_keys)
+        if n_keys > top_k:
+            kth_score = np.partition(best_scores, n_keys - top_k)[n_keys - top_k]
+            keep = best_scores >= kth_score
+            unique_keys = unique_keys[keep]
+            best_scores = best_scores[keep]
+        ranks = self._key_rank[unique_keys]
+        # descending score, ties broken by descending str(key) rank — the
+        # ordering heapq.nlargest produces in search()
+        final = np.lexsort((-ranks, -best_scores))[:top_k]
+        return [
+            IndexHit(key=self._key_list[unique_keys[i]], score=float(best_scores[i]))
+            for i in final
+        ]
+
+    def search_batch(
+        self, queries: Sequence[str], top_k: int = 10
+    ) -> list[list[IndexHit]]:
+        """Top-k hits for every query, identical to per-query :meth:`search`.
+
+        Distinct query strings are tokenized and scored once; duplicates
+        share the (immutable) result list.  Scoring never allocates a dense
+        document vector: each query works in the compact id space of its own
+        matched postings.
+        """
+        if not self._frozen:
+            self.freeze()
+        self._ensure_key_arrays()
+        by_query: dict[str, list[IndexHit]] = {}
+        results: list[list[IndexHit]] = []
+        for query in queries:
+            hits = by_query.get(query)
+            if hits is None:
+                query_counts = Counter(tokenize(query))
+                hits = (
+                    self._search_compact(query_counts, top_k)
+                    if query_counts
+                    else []
+                )
+                by_query[query] = hits
+            results.append(hits)
+        return results
 
     def keys_with_token(self, token: str) -> set[Hashable]:
         """All keys whose documents contain ``token``.

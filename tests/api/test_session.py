@@ -52,6 +52,63 @@ class TestSessionConfig:
         config = SessionConfig(engine="batched").pipeline_config("scalar")
         assert config.annotator.engine == "scalar"
 
+    def test_roundtrip_json_with_candidate_engine(self):
+        config = SessionConfig(candidate_engine="scalar")
+        assert SessionConfig.from_json(config.to_json()) == config
+        assert config.to_json()["candidate_engine"] == "scalar"
+
+    def test_bad_candidate_engine_rejected_everywhere(self):
+        from repro.api.config import validate_candidate_engine
+
+        for build in (
+            lambda: SessionConfig(candidate_engine="quantum"),
+            lambda: validate_candidate_engine("quantum"),
+            lambda: SessionConfig().pipeline_config(candidate_engine="quantum"),
+        ):
+            with pytest.raises(ApiError) as excinfo:
+                build()
+            assert excinfo.value.code == "unknown_engine"
+            assert "batched" in excinfo.value.message
+            assert "scalar" in excinfo.value.message
+
+    def test_pipeline_config_carries_candidate_engine(self):
+        config = SessionConfig().pipeline_config(candidate_engine="scalar")
+        assert config.annotator.candidate_engine == "scalar"
+        assert config.annotator.engine == "batched"
+
+
+class TestCandidateEngines:
+    def test_scalar_candidate_engine_session(self, tiny_world):
+        from repro.core.candidates import CandidateGenerator
+
+        session = ReproSession.from_world(
+            tiny_world.annotator_view,
+            config=SessionConfig(candidate_engine="scalar"),
+        )
+        generator = session.pipeline().annotator.candidate_generator
+        unwrapped = getattr(generator, "_generator", generator)
+        assert type(unwrapped) is CandidateGenerator
+
+    def test_candidate_engines_share_generator_and_agree(
+        self, tiny_world, api_corpus
+    ):
+        session = ReproSession.from_world(tiny_world.annotator_view)
+        batched = session.pipeline()
+        scalar = session.pipeline(candidate_engine="scalar")
+        assert batched is not scalar
+        # both candidate paths share one frozen lemma index
+        assert (
+            batched.annotator.candidate_generator.lemma_index
+            is scalar.annotator.candidate_generator.lemma_index
+        )
+        table = api_corpus[0].table
+        assert annotation_to_dict(batched.annotate(table)) == annotation_to_dict(
+            scalar.annotate(table)
+        )
+        names = set(session.pipelines())
+        assert "batched" in names
+        assert "batched/scalar" in names
+
 
 class TestAnnotate:
     def test_matches_direct_pipeline(self, tiny_world, api_session, api_corpus):

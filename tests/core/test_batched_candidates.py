@@ -1,0 +1,268 @@
+"""Equivalence tests: the batched candidate engine vs the scalar reference.
+
+The contract of :mod:`repro.core.candidates_batched` is *identity*, not
+approximation: identical ``Erc`` (ids, scores, ordering), identical ``Tc``
+and ``Bcc'``, bit-identical feature blocks and byte-identical annotations —
+on fixture corpora, on hypothesis-generated tables and on the numeric /
+blank / unknown-cell edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotator import AnnotatorConfig, TableAnnotator
+from repro.core.candidates import CandidateGenerator
+from repro.core.candidates_batched import (
+    BatchedCandidateEngine,
+    InternedCandidateTables,
+)
+from repro.core.model import default_model
+from repro.pipeline.io import annotation_to_dict
+from repro.tables.model import Table
+
+TOP_K = 8
+
+
+@pytest.fixture(scope="module")
+def engines(world):
+    scalar = TableAnnotator(
+        world.annotator_view,
+        model=default_model(),
+        config=AnnotatorConfig(candidate_engine="scalar"),
+    )
+    batched = TableAnnotator(
+        world.annotator_view,
+        model=default_model(),
+        config=AnnotatorConfig(candidate_engine="batched"),
+    )
+    return scalar, batched
+
+
+def assert_problems_identical(scalar_problem, batched_problem):
+    assert set(scalar_problem.cells) == set(batched_problem.cells)
+    for key, scalar_space in scalar_problem.cells.items():
+        batched_space = batched_problem.cells[key]
+        assert scalar_space.labels == batched_space.labels
+        assert [
+            (c.entity_id, c.retrieval_score) for c in scalar_space.candidates
+        ] == [
+            (c.entity_id, c.retrieval_score) for c in batched_space.candidates
+        ]
+        assert np.array_equal(scalar_space.f1, batched_space.f1)
+    assert set(scalar_problem.columns) == set(batched_problem.columns)
+    for column, scalar_space in scalar_problem.columns.items():
+        batched_space = batched_problem.columns[column]
+        assert scalar_space.labels == batched_space.labels
+        assert np.array_equal(scalar_space.f2, batched_space.f2)
+        assert set(scalar_space.f3) == set(batched_space.f3)
+        for row, grid in scalar_space.f3.items():
+            assert np.array_equal(grid, batched_space.f3[row])
+    assert set(scalar_problem.pairs) == set(batched_problem.pairs)
+    for pair, scalar_space in scalar_problem.pairs.items():
+        batched_space = batched_problem.pairs[pair]
+        assert scalar_space.labels == batched_space.labels
+        assert np.array_equal(scalar_space.f4, batched_space.f4)
+        assert set(scalar_space.f5) == set(batched_space.f5)
+        for row, grid in scalar_space.f5.items():
+            assert np.array_equal(grid, batched_space.f5[row])
+
+
+class TestFixtureEquivalence:
+    def test_problems_identical_on_noisy_corpus(self, engines, web_tables):
+        scalar, batched = engines
+        for labeled in web_tables:
+            assert_problems_identical(
+                scalar.build_problem(labeled.table),
+                batched.build_problem(labeled.table),
+            )
+
+    def test_annotations_byte_identical(self, engines, wiki_tables, web_tables):
+        scalar, batched = engines
+        for labeled in wiki_tables + web_tables:
+            assert annotation_to_dict(
+                batched.annotate(labeled.table)
+            ) == annotation_to_dict(scalar.annotate(labeled.table))
+
+
+class TestDirectQueries:
+    """The three candidate queries compared engine-vs-engine directly."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, world):
+        scalar = CandidateGenerator(world.annotator_view, top_k_entities=TOP_K)
+        return scalar, BatchedCandidateEngine(scalar)
+
+    def test_cell_candidates_batch_matches_scalar(self, pair, world):
+        scalar, batched = pair
+        texts = []
+        for entity in list(world.annotator_view.entities.all_entities())[:40]:
+            texts.extend(entity.lemmas[:2])
+        texts += ["", "   ", "1951", "85%", "3,000", "zzz qqq", "Baker", "baker "]
+        batch = batched.cell_candidates_batch(texts)
+        for text, candidates in zip(texts, batch):
+            assert candidates == scalar.cell_candidates(text)
+
+    def test_column_type_candidates_match(self, pair, world):
+        scalar, batched = pair
+        entities = list(world.annotator_view.entities.all_entities())
+        columns = [
+            [scalar.cell_candidates(entity.lemmas[0]) for entity in entities[i : i + 6]]
+            for i in range(0, 60, 6)
+        ]
+        for column in columns:
+            assert batched.column_type_candidates(
+                column
+            ) == scalar.column_type_candidates(column)
+        # blank / empty columns
+        assert batched.column_type_candidates([]) == []
+        assert batched.column_type_candidates([[], []]) == []
+
+    def test_relation_candidates_match(self, pair, world):
+        scalar, batched = pair
+        entities = list(world.annotator_view.entities.all_entities())
+        lefts = [scalar.cell_candidates(e.lemmas[0]) for e in entities[:20]]
+        rights = [scalar.cell_candidates(e.lemmas[-1]) for e in entities[20:40]]
+        assert batched.relation_candidates(lefts, rights) == (
+            scalar.relation_candidates(lefts, rights)
+        )
+        # memoised second pass must answer the same
+        assert batched.relation_candidates(lefts, rights) == (
+            scalar.relation_candidates(lefts, rights)
+        )
+        assert batched.relation_candidates([[]], [[]]) == []
+
+    def test_unknown_entity_falls_back_to_scalar(self, pair, book_catalog):
+        _scalar, batched = pair
+        from repro.core.candidates import CandidateEntity
+
+        ghost = [[CandidateEntity("ent:not-in-catalog", 1.0)]]
+        with pytest.raises(Exception):
+            # the scalar reference raises on unknown ids; the batched engine
+            # must defer to it rather than silently answering
+            batched.column_type_candidates(ghost)
+
+
+class TestHypothesisTables:
+    """Generated tables: arbitrary mixes of lemma, numeric and junk cells."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_generated_tables_identical(self, data, engines, world):
+        scalar, batched = engines
+        lemmas: list[str] = []
+        for entity in list(world.annotator_view.entities.all_entities())[:60]:
+            lemmas.extend(entity.lemmas)
+        cell = st.one_of(
+            st.sampled_from(lemmas),
+            st.sampled_from(["", "  ", "1984", "12%", "3,000 km", "zzz qqq"]),
+            st.text(
+                alphabet="abz XYZ.',!0123456789", min_size=0, max_size=14
+            ),
+        )
+        n_rows = data.draw(st.integers(min_value=1, max_value=5))
+        n_columns = data.draw(st.integers(min_value=1, max_value=3))
+        rows = data.draw(
+            st.lists(
+                st.lists(cell, min_size=n_columns, max_size=n_columns),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        )
+        headers = data.draw(
+            st.lists(
+                st.one_of(st.none(), cell),
+                min_size=n_columns,
+                max_size=n_columns,
+            )
+        )
+        table = Table(
+            table_id="hyp",
+            cells=[list(row) for row in rows],
+            headers=list(headers),
+        )
+        assert_problems_identical(
+            scalar.build_problem(table), batched.build_problem(table)
+        )
+        assert annotation_to_dict(batched.annotate(table)) == (
+            annotation_to_dict(scalar.annotate(table))
+        )
+
+
+class TestInternedTables:
+    def test_state_round_trip(self, world):
+        tables = InternedCandidateTables.from_catalog(world.annotator_view)
+        state = tables.to_state()
+        restored = InternedCandidateTables.from_state(state)
+        state_again = restored.to_state()
+        assert state["entity_ids"] == state_again["entity_ids"]
+        assert state["type_ids"] == state_again["type_ids"]
+        assert state["relation_ids"] == state_again["relation_ids"]
+        for field in (
+            "anc_offsets",
+            "anc_flat",
+            "type_specificity",
+            "pair_keys",
+            "pair_offsets",
+            "pair_relations",
+            "tuple_offsets",
+            "tuple_keys_by_relation",
+        ):
+            assert np.array_equal(state[field], state_again[field]), field
+
+    def test_restored_tables_drive_identical_engine(self, world, wiki_tables):
+        generator = CandidateGenerator(world.annotator_view, top_k_entities=TOP_K)
+        built = BatchedCandidateEngine(generator)
+        restored = BatchedCandidateEngine(
+            generator,
+            tables=InternedCandidateTables.from_state(built.tables.to_state()),
+        )
+        table = wiki_tables[0].table
+        texts = [
+            table.cell(row, column)
+            for row in range(table.n_rows)
+            for column in range(table.n_columns)
+        ]
+        per_cell = built.cell_candidates_batch(texts)
+        assert per_cell == restored.cell_candidates_batch(texts)
+        column = per_cell[: table.n_rows]
+        assert built.column_type_candidates(column) == (
+            restored.column_type_candidates(column)
+        )
+
+
+class TestEngineKnob:
+    def test_unknown_candidate_engine_rejected(self, world):
+        with pytest.raises(ValueError, match="candidate engine"):
+            TableAnnotator(
+                world.annotator_view,
+                config=AnnotatorConfig(candidate_engine="turbo"),
+            )
+
+    def test_batched_knob_wraps_prebuilt_scalar_generator(self, world):
+        generator = CandidateGenerator(world.annotator_view)
+        annotator = TableAnnotator(
+            world.annotator_view, candidate_generator=generator
+        )
+        assert isinstance(annotator.candidate_generator, BatchedCandidateEngine)
+        assert annotator.candidate_generator.scalar_generator is generator
+
+    def test_scalar_knob_unwraps_batched_generator(self, world):
+        generator = CandidateGenerator(world.annotator_view)
+        engine = BatchedCandidateEngine(generator)
+        annotator = TableAnnotator(
+            world.annotator_view,
+            config=AnnotatorConfig(candidate_engine="scalar"),
+            candidate_generator=engine,
+        )
+        assert annotator.candidate_generator is generator
+
+    def test_prebuilt_batched_engine_reused(self, world):
+        engine = BatchedCandidateEngine(CandidateGenerator(world.annotator_view))
+        annotator = TableAnnotator(
+            world.annotator_view, candidate_generator=engine
+        )
+        assert annotator.candidate_generator is engine

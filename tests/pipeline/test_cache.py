@@ -7,6 +7,7 @@ from repro.pipeline.cache import (
     CandidateCache,
     CachingCandidateGenerator,
     LRUCache,
+    normalized_cell_key,
 )
 
 
@@ -104,3 +105,74 @@ class TestCachingCandidateGenerator:
         assert caching.top_k_entities == generator.top_k_entities
         assert caching.lemma_tfidf is generator.lemma_tfidf
         assert caching.column_type_candidates([[]]) == []
+
+
+class TestNormalizedKeys:
+    """Satellite: cache keys are normalised (stripped, case-folded) text."""
+
+    @pytest.fixture(scope="class")
+    def generator(self, tiny_world):
+        return CandidateGenerator(tiny_world.annotator_view)
+
+    def test_key_collapses_case_whitespace_punctuation(self):
+        assert normalized_cell_key("Einstein") == "einstein"
+        assert normalized_cell_key("  EINSTEIN  ") == "einstein"
+        assert normalized_cell_key("Einstein!") == "einstein"
+        assert normalized_cell_key("Albert  Einstein") == "albert einstein"
+        # token order is part of the key: retrieval weighs it
+        assert normalized_cell_key("a b") != normalized_cell_key("b a")
+
+    def test_variants_share_one_entry_with_identical_results(
+        self, generator, tiny_world
+    ):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        entity = next(iter(tiny_world.annotator_view.entities.all_entities()))
+        base = entity.lemmas[0]
+        variants = [base, f"  {base}  ", base.upper(), f"{base}!"]
+        for variant in variants:
+            # normalisation must never change what the generator would say
+            assert caching.cell_candidates(variant) == generator.cell_candidates(
+                variant
+            )
+        stats = caching.cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == len(variants) - 1
+        # "  base  " strips back to the stored surface form (raw hit); the
+        # upper-cased and punctuated variants hit via normalisation only
+        assert stats.raw_hits == 1
+        assert stats.normalized_hits == 2
+
+    def test_raw_vs_normalized_hit_split(self, generator, tiny_world):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        entity = next(iter(tiny_world.annotator_view.entities.all_entities()))
+        base = entity.lemmas[0]
+        caching.cell_candidates(base)  # miss
+        before = caching.cache.stats()
+        caching.cell_candidates(base)  # raw hit
+        caching.cell_candidates(base.upper())  # normalised-only hit
+        stats = caching.cache.stats()
+        assert (stats.raw_hits, stats.normalized_hits) == (1, 1)
+        delta = stats.since(before)  # since() threads the new counters
+        assert (delta.raw_hits, delta.normalized_hits) == (1, 1)
+        assert delta.hits == 2
+
+    def test_batch_matches_per_cell_path(self, generator, tiny_world):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        entities = list(tiny_world.annotator_view.entities.all_entities())
+        texts = [entity.lemmas[0] for entity in entities[:6]]
+        texts += ["", "  ", "42", texts[0].upper(), "zzz qqq", texts[1]]
+        batch = caching.cell_candidates_batch(texts)
+        fresh = CachingCandidateGenerator(generator, CandidateCache())
+        assert batch == [fresh.cell_candidates(text) for text in texts]
+        # warm batch: everything resolvable is now a hit
+        again = caching.cell_candidates_batch(texts)
+        assert again == batch
+
+    def test_batch_probes_each_distinct_key_once(self, generator, tiny_world):
+        caching = CachingCandidateGenerator(generator, CandidateCache())
+        entity = next(iter(tiny_world.annotator_view.entities.all_entities()))
+        base = entity.lemmas[0]
+        caching.cell_candidates_batch([base, base.upper(), f" {base} ", "17"])
+        stats = caching.cache.stats()
+        assert stats.misses == 1
+        assert len(caching.cache) == 1

@@ -69,6 +69,51 @@ class TestManifest:
         assert manifest.identity["model_sha256"] == loaded_bundle.model.fingerprint()
 
 
+class TestCandidateTables:
+    def test_candidate_state_restores_built_tables(
+        self, loaded_bundle, tiny_world
+    ):
+        import numpy as np
+
+        from repro.core.candidates_batched import InternedCandidateTables
+
+        assert loaded_bundle.candidate_state is not None
+        restored = InternedCandidateTables.from_state(
+            loaded_bundle.candidate_state
+        )
+        built = InternedCandidateTables.from_catalog(tiny_world.annotator_view)
+        assert restored.entity_ids == built.entity_ids
+        assert restored.type_ids == built.type_ids
+        assert restored.relation_ids == built.relation_ids
+        for field in (
+            "anc_offsets",
+            "anc_flat",
+            "type_specificity",
+            "pair_keys",
+            "pair_offsets",
+            "pair_relations",
+            "tuple_offsets",
+            "tuple_keys_by_relation",
+        ):
+            assert np.array_equal(
+                getattr(restored, field), getattr(built, field)
+            ), field
+
+    def test_bundle_session_reuses_candidate_state(self, bundle_dir):
+        from repro.api.session import ReproSession
+        from repro.core.candidates_batched import BatchedCandidateEngine
+
+        session = ReproSession.from_bundle(bundle_dir)
+        pipeline = session.pipeline()
+        generator = pipeline.annotator.candidate_generator
+        # the pipeline wraps the engine in the caching front; unwrap
+        engine = getattr(generator, "_generator", generator)
+        assert isinstance(engine, BatchedCandidateEngine)
+        assert list(engine.tables.entity_ids) == list(
+            session.bundle.candidate_state["entity_ids"]
+        )
+
+
 class TestRoundTrip:
     def test_annotations_identical(self, loaded_bundle, fresh_state):
         _pipeline, fresh_index = fresh_state

@@ -302,6 +302,23 @@ class TestServeStateConfig:
         )
         assert explicit.default_engine == "batched"
 
+    def test_legacy_pipeline_config_keeps_candidate_engine(self, loaded_bundle):
+        """The legacy (engine, PipelineConfig) fold must not silently force
+        the batched candidate engine over an explicit scalar request."""
+        from repro.core.annotator import AnnotatorConfig
+        from repro.pipeline.pipeline import PipelineConfig
+        from repro.serve.state import ServeState
+
+        state = ServeState(
+            loaded_bundle,
+            pipeline_config=PipelineConfig(
+                annotator=AnnotatorConfig(candidate_engine="scalar")
+            ),
+        )
+        assert state.session.config.candidate_engine == "scalar"
+        pipeline = state.session.pipeline()
+        assert pipeline.config.annotator.candidate_engine == "scalar"
+
 
 class TestConcurrentDeterminism:
     """N threads hammering the warm server ≡ serial answers."""

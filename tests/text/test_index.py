@@ -55,6 +55,61 @@ class TestRetrieval:
         # ties broken by string form of key, descending heapq order
         assert [hit.key for hit in hits] == ["b", "a"]
 
+    def test_pooled_scratch_resets_between_queries(self, index):
+        # back-to-back identical queries share the scratch accumulator; a
+        # dirty reset would double every score
+        first = index.search("albert einstein bagels")
+        second = index.search("albert einstein bagels")
+        assert first == second
+        assert index.search("newton") == index.search("newton")
+
+
+class TestSearchBatch:
+    def test_matches_single_query_search(self, index):
+        queries = [
+            "Albert Einstein",
+            "einstein",
+            "albert einstein newton",
+            "albert einstein bagels",
+            "zzz qqq",
+            "",
+            "Einstein!",
+            "newton isaac",
+        ]
+        batch = index.search_batch(queries, top_k=3)
+        for query, hits in zip(queries, batch):
+            assert hits == index.search(query, top_k=3), query
+
+    def test_duplicate_queries_share_one_result(self, index):
+        batch = index.search_batch(["einstein", "einstein"])
+        assert batch[0] is batch[1]
+
+    def test_tie_break_matches_scalar(self):
+        idx = InvertedIndex()
+        idx.add("b", "same text")
+        idx.add("a", "same text")
+        idx.add("c", "same text")
+        for top_k in (1, 2, 3, 5):
+            assert idx.search_batch(["same text"], top_k=top_k) == [
+                idx.search("same text", top_k=top_k)
+            ]
+
+    def test_boundary_ties_kept_exactly(self):
+        # three tied keys around the top-k cut: the partition must keep the
+        # whole tie group before the (score, str(key)) sort truncates
+        idx = InvertedIndex()
+        for key in ("t1", "t2", "t3"):
+            idx.add(key, "shared words")
+        idx.add("best", "shared words unique")
+        assert idx.search_batch(["shared words unique"], top_k=2) == [
+            idx.search("shared words unique", top_k=2)
+        ]
+
+    def test_batch_on_state_restored_index(self, index):
+        restored = InvertedIndex.from_state(index.to_state())
+        queries = ["einstein", "albert", "isaac newton", "nope"]
+        assert restored.search_batch(queries) == index.search_batch(queries)
+
 
 class TestStatistics:
     def test_idf_and_df(self, index):
