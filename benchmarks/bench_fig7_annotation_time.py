@@ -307,6 +307,144 @@ def test_fig7_candidate_engine_speedup(
     )
 
 
+def test_fig7_fused_speedup(bench_world, trained_model, emit, emit_json):
+    """Per-table vs shape-bucketed fused corpus execution.
+
+    The fused path (``fusion="bucket"``) plans the corpus into shape buckets,
+    stacks every bucket's tables into one cross-table BP run and caches the
+    fused bundles content-addressed, so re-annotating a recurring corpus —
+    the serving steady state — skips candidate generation and graph
+    compilation entirely and pays one vectorised BP per bucket instead of a
+    Python round-trip per table.  Both modes get one identical warm-up pass
+    (the cold pass, recorded alongside); the headline compares warm steady
+    states as the best of five *interleaved* passes per mode, which cancels
+    machine-state drift between the two measurements without favouring
+    either side.  Annotations must be byte-identical throughout.
+
+    The process-pool numbers are honest per-worker wall clocks: on a
+    single-core runner the fork pool adds overhead rather than parallel
+    speedup, which is exactly what ``cpu_count`` in the JSON explains.
+    """
+    generator = WebTableGenerator(
+        bench_world.full,
+        TableGeneratorConfig(
+            seed=91,
+            n_tables=60 if SMOKE else 320,
+            rows_range=(3, 6),
+            noise=NoiseProfile.WIKI,
+            id_prefix="fig7-fused",
+        ),
+    )
+    tables = [labeled.table for labeled in generator.generate()]
+
+    def make_pipeline(fusion, executor="thread", workers=1):
+        return AnnotationPipeline(
+            bench_world.annotator_view,
+            model=trained_model,
+            config=PipelineConfig(
+                executor=executor,
+                workers=workers,
+                batch_size=128,
+                annotator=AnnotatorConfig(fusion=fusion),
+            ),
+        )
+
+    def timed_pass(pipeline):
+        start = time.perf_counter()
+        annotations = [
+            annotation_to_dict(annotation)
+            for _table, annotation in pipeline.annotate_with_tables(tables)
+        ]
+        return annotations, time.perf_counter() - start
+
+    baseline = make_pipeline("off")
+    fused = make_pipeline("bucket")
+    baseline_annotations, baseline_cold = timed_pass(baseline)
+    fused_annotations, fused_cold = timed_pass(fused)
+    identical = fused_annotations == baseline_annotations
+    baseline_warm = fused_warm = float("inf")
+    for _round in range(5):
+        _, seconds = timed_pass(baseline)
+        baseline_warm = min(baseline_warm, seconds)
+        warm_annotations, seconds = timed_pass(fused)
+        fused_warm = min(fused_warm, seconds)
+        identical = identical and warm_annotations == baseline_annotations
+    fused_report = fused.last_report
+    baseline.close()
+    fused.close()
+    speedup = baseline_warm / fused_warm
+    cold_speedup = baseline_cold / fused_cold
+
+    # the process pool ships whole buckets to forked workers; per-worker
+    # wall clocks are recorded as measured (no parallel win on 1 core)
+    pool_seconds = {}
+    for workers in (1, 2):
+        pool = make_pipeline("bucket", executor="process", workers=workers)
+        pool_annotations, seconds = timed_pass(pool)
+        pool.close()
+        identical = identical and pool_annotations == baseline_annotations
+        pool_seconds[workers] = round(seconds, 4)
+
+    histogram = {
+        str(size): count
+        for size, count in fused_report.bucket_size_histogram.items()
+    }
+    emit(
+        "fig7_fused_speedup",
+        format_table(
+            ["Quantity", "Per-table", "Fused"],
+            [
+                ["tables (recurring corpus)", len(tables), len(tables)],
+                [
+                    "cold pass seconds",
+                    round(baseline_cold, 3),
+                    round(fused_cold, 3),
+                ],
+                [
+                    "warm pass seconds",
+                    round(baseline_warm, 3),
+                    round(fused_warm, 3),
+                ],
+                ["warm speedup", "1.00x", f"{speedup:.2f}x"],
+                ["fused batches", "-", fused_report.fused_batches],
+                ["bucket-size histogram", "-", histogram],
+                [
+                    "process-pool seconds (workers=1/2)",
+                    "-",
+                    f"{pool_seconds[1]}/{pool_seconds[2]}",
+                ],
+            ],
+            title="Per-table vs fused corpus execution (same annotations)",
+        ),
+    )
+    emit_json(
+        "fig7",
+        "fused_speedup",
+        {
+            "tables": len(tables),
+            "baseline_cold_seconds": round(baseline_cold, 4),
+            "fused_cold_seconds": round(fused_cold, 4),
+            "baseline_warm_seconds": round(baseline_warm, 4),
+            "fused_warm_seconds": round(fused_warm, 4),
+            "speedup": round(speedup, 3),
+            "cold_speedup": round(cold_speedup, 3),
+            "fused_batches": fused_report.fused_batches,
+            "bucket_size_histogram": histogram,
+            "process_pool_seconds": {
+                str(workers): seconds
+                for workers, seconds in pool_seconds.items()
+            },
+            "cpu_count": os.cpu_count(),
+            "identical_annotations": identical,
+        },
+    )
+
+    # fused execution must be invisible in the output
+    assert identical
+    # and pay for itself at the warm steady state
+    assert speedup >= (1.8 if SMOKE else 3.0)
+
+
 def test_fig7_serving_bundle_speedup(
     bench_world, bench_datasets, trained_model, emit, emit_json, tmp_path
 ):

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fused corpus annotation: shape buckets, one BP run per bucket.
+
+Annotates the same corpus twice — per table (``fusion="off"``) and fused
+(``fusion="bucket"``) — and shows that the fused path produces byte-identical
+annotations while planning the corpus into shape buckets and running one
+cross-table message-passing schedule per bucket.  A second fused pass hits
+the content-addressed bundle cache, the serving steady state where the
+speedup concentrates.
+
+Run with::
+
+    python examples/fused_corpus_annotation.py
+"""
+
+import time
+
+from repro import AnnotationPipeline
+from repro.catalog.synthetic import generate_world
+from repro.core.annotator import AnnotatorConfig
+from repro.pipeline.io import annotation_to_dict
+from repro.pipeline.pipeline import PipelineConfig
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+
+
+def annotate(world, tables, fusion: str):
+    config = PipelineConfig(annotator=AnnotatorConfig(fusion=fusion))
+    with AnnotationPipeline(world.annotator_view, config=config) as pipeline:
+        first = time.perf_counter()
+        payloads = [
+            annotation_to_dict(annotation)
+            for _table, annotation in pipeline.annotate_with_tables(tables)
+        ]
+        first_seconds = time.perf_counter() - first
+        # second pass: every cache is warm (for the fused path that includes
+        # the content-addressed fused bundles, so candidate generation and
+        # graph compilation are skipped outright)
+        warm = time.perf_counter()
+        for _pair in pipeline.annotate_with_tables(tables):
+            pass
+        warm_seconds = time.perf_counter() - warm
+        report = pipeline.last_report
+    return payloads, first_seconds, warm_seconds, report
+
+
+def main() -> None:
+    world = generate_world()
+    generator = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(
+            seed=17, n_tables=60, rows_range=(3, 6), noise=NoiseProfile.WIKI
+        ),
+    )
+    tables = [labeled.table for labeled in generator.generate()]
+    print(f"corpus: {len(tables)} tables")
+
+    per_table, cold_off, warm_off, _ = annotate(world, tables, "off")
+    fused, cold_on, warm_on, report = annotate(world, tables, "bucket")
+
+    assert fused == per_table, "fused output must be byte-identical"
+    print(f"annotations identical across modes: {fused == per_table}")
+    print(f"fused batches: {report.fused_batches}")
+    print(f"bucket-size histogram: {report.bucket_size_histogram}")
+    print(f"cold pass:  per-table {cold_off:.3f}s   fused {cold_on:.3f}s")
+    print(f"warm pass:  per-table {warm_off:.3f}s   fused {warm_on:.3f}s")
+    print(f"warm speedup: {warm_off / warm_on:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,9 +21,10 @@ from typing import Any, Mapping
 
 from repro.api import errors
 from repro.api.errors import ApiError
-from repro.core.annotator import AnnotatorConfig
+from repro.core.annotator import FUSION_MODES, AnnotatorConfig
 from repro.core.candidates import CANDIDATE_ENGINES
 from repro.core.inference import ENGINES
+from repro.pipeline.executor import EXECUTORS
 from repro.pipeline.pipeline import PipelineConfig
 
 #: the engine registry, re-exported so frontends need no core import
@@ -32,6 +33,12 @@ VALID_ENGINES: tuple[str, ...] = tuple(ENGINES)
 #: the candidate-engine registry (same shape: "batched" default, "scalar"
 #: reference), re-exported for the CLI's argparse choices
 VALID_CANDIDATE_ENGINES: tuple[str, ...] = tuple(CANDIDATE_ENGINES)
+
+#: corpus fusion modes ("off" per-table, "bucket" cross-table fused)
+VALID_FUSION_MODES: tuple[str, ...] = tuple(FUSION_MODES)
+
+#: pipeline batch executors ("serial", "thread", "process")
+VALID_EXECUTORS: tuple[str, ...] = tuple(EXECUTORS)
 
 
 def validate_engine(engine: str) -> str:
@@ -54,6 +61,28 @@ def validate_candidate_engine(candidate_engine: str) -> str:
             f"engines: {', '.join(VALID_CANDIDATE_ENGINES)})",
         )
     return candidate_engine
+
+
+def validate_fusion(fusion: str) -> str:
+    """The one fusion-mode check (mirrors :func:`validate_engine`)."""
+    if fusion not in VALID_FUSION_MODES:
+        raise ApiError(
+            errors.UNKNOWN_ENGINE,
+            f"unknown fusion mode: {fusion!r} (valid fusion modes: "
+            f"{', '.join(VALID_FUSION_MODES)})",
+        )
+    return fusion
+
+
+def validate_executor(executor: str) -> str:
+    """The one executor-name check (mirrors :func:`validate_engine`)."""
+    if executor not in VALID_EXECUTORS:
+        raise ApiError(
+            errors.UNKNOWN_ENGINE,
+            f"unknown executor: {executor!r} (valid executors: "
+            f"{', '.join(VALID_EXECUTORS)})",
+        )
+    return executor
 
 
 @dataclass
@@ -86,6 +115,10 @@ class SessionConfig:
 
     engine: str = "batched"
     candidate_engine: str = "batched"
+    #: corpus fusion default ("off" per-table, "bucket" cross-table fused)
+    fusion: str = "off"
+    #: pipeline batch executor ("serial", "thread", "process")
+    executor: str = "thread"
     workers: int = 1
     batch_size: int = 16
     cache_size: int = 100_000
@@ -96,6 +129,8 @@ class SessionConfig:
     def __post_init__(self) -> None:
         validate_engine(self.engine)
         validate_candidate_engine(self.candidate_engine)
+        validate_fusion(self.fusion)
+        validate_executor(self.executor)
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.batch_size < 1:
@@ -112,6 +147,7 @@ class SessionConfig:
         self,
         engine: str | None = None,
         candidate_engine: str | None = None,
+        fusion: str | None = None,
     ) -> PipelineConfig:
         """The :class:`PipelineConfig` for one engine pair (default: session's)."""
         engine = validate_engine(engine if engine is not None else self.engine)
@@ -120,13 +156,18 @@ class SessionConfig:
             if candidate_engine is not None
             else self.candidate_engine
         )
+        fusion = validate_fusion(fusion if fusion is not None else self.fusion)
         return PipelineConfig(
             batch_size=self.batch_size,
             workers=self.workers,
             cache_size=self.cache_size,
             compiled_cache_size=self.compiled_cache_size,
+            executor=self.executor,
             annotator=dataclasses.replace(
-                self.annotator, engine=engine, candidate_engine=candidate_engine
+                self.annotator,
+                engine=engine,
+                candidate_engine=candidate_engine,
+                fusion=fusion,
             ),
         )
 
@@ -137,6 +178,8 @@ class SessionConfig:
         return {
             "engine": self.engine,
             "candidate_engine": self.candidate_engine,
+            "fusion": self.fusion,
+            "executor": self.executor,
             "workers": self.workers,
             "batch_size": self.batch_size,
             "cache_size": self.cache_size,
@@ -178,6 +221,8 @@ class SessionConfig:
         for flag in (
             "engine",
             "candidate_engine",
+            "fusion",
+            "executor",
             "workers",
             "batch_size",
             "cache_size",

@@ -558,6 +558,8 @@ class ReproSession:
             "schema_version": SCHEMA_VERSION,
             "default_engine": self.config.engine,
             "default_candidate_engine": self.config.candidate_engine,
+            "default_fusion": self.config.fusion,
+            "default_executor": self.config.executor,
             "engines": sorted(self.pipelines()),
             "tables": len(self._index) if self._index is not None else 0,
             "model_sha256": self.model.fingerprint(),

@@ -38,6 +38,8 @@ from pathlib import Path
 from repro.api.config import (
     VALID_CANDIDATE_ENGINES,
     VALID_ENGINES,
+    VALID_EXECUTORS,
+    VALID_FUSION_MODES,
     SessionConfig,
 )
 from repro.api.errors import ApiError
@@ -118,6 +120,20 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         help="candidate-generation engine: batched (array-backed, default) "
         "or scalar (per-cell reference)",
     )
+    parser.add_argument(
+        "--fusion",
+        choices=VALID_FUSION_MODES,
+        default="off",
+        help="corpus fusion: off (per-table, default) or bucket "
+        "(shape-bucketed cross-table fused execution)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=VALID_EXECUTORS,
+        default="thread",
+        help="batch executor: serial, thread (default) or process "
+        "(fork-based pool; requires fork support)",
+    )
 
 
 def _print_pipeline_summary(pipeline: AnnotationPipeline) -> None:
@@ -130,6 +146,11 @@ def _print_pipeline_summary(pipeline: AnnotationPipeline) -> None:
     )
     if report.cache is not None:
         line += f", cache hit rate {report.cache.hit_rate:.0%}"
+    if report.fusion != "off":
+        line += (
+            f", {report.fused_batches} fused batches, "
+            f"bucket sizes {report.bucket_size_histogram}"
+        )
     print(line + ")", file=sys.stderr)
 
 
@@ -348,6 +369,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         session_config=SessionConfig(
             engine=args.engine,
             candidate_engine=args.candidate_engine,
+            fusion=args.fusion,
+            executor=args.executor,
             cache_size=args.cache_size,
         ),
     )
@@ -510,6 +533,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=VALID_CANDIDATE_ENGINES,
         default="batched",
         help="candidate-generation engine for every request",
+    )
+    serve.add_argument(
+        "--fusion",
+        choices=VALID_FUSION_MODES,
+        default="off",
+        help="corpus fusion mode for batch annotation endpoints",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=VALID_EXECUTORS,
+        default="thread",
+        help="pipeline batch executor",
     )
     serve.add_argument(
         "--cache-size",

@@ -37,6 +37,11 @@ from repro.core.problem import (
 from repro.core.simple_inference import annotate_simple
 from repro.tables.model import Table
 
+#: corpus fusion modes: "off" annotates table by table; "bucket" groups
+#: shape-compatible tables into cross-table fused BP runs (see
+#: :mod:`repro.core.fused` and :mod:`repro.pipeline.planner`)
+FUSION_MODES = ("off", "bucket")
+
 
 @dataclass
 class AnnotatorConfig:
@@ -59,6 +64,10 @@ class AnnotatorConfig:
     #: default) or "scalar" (per-cell reference) — see
     #: :mod:`repro.core.candidates_batched`
     candidate_engine: str = "batched"
+    #: "off" (per-table annotation, default) or "bucket" (corpus-level fused
+    #: execution over shape buckets) — see :mod:`repro.core.fused`; only the
+    #: pipeline's corpus entry points act on this knob
+    fusion: str = "off"
 
     def inference_config(self) -> InferenceConfig:
         return InferenceConfig(
@@ -122,6 +131,8 @@ class TableAnnotator:
             raise ValueError(
                 f"unknown candidate engine: {self.config.candidate_engine!r}"
             )
+        if self.config.fusion not in FUSION_MODES:
+            raise ValueError(f"unknown fusion mode: {self.config.fusion!r}")
         # a prebuilt generator skips the lemma-index build — the serving
         # layer passes one loaded straight from an artifact bundle, and
         # per-engine pipelines share one generator (hence one lemma index)

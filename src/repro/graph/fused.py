@@ -1,0 +1,446 @@
+"""Cross-table fused belief propagation: one super-graph per shape bucket.
+
+:mod:`repro.graph.compiled` batches message passing *within* one table; on
+corpora of many small tables the per-table engine still pays a fixed Python
+cost per table (a few hundred tiny NumPy calls each).  This module merges the
+factor graphs of a whole bucket of tables into one :class:`FusedGraph` whose
+blocks span tables, so every Figure-11 half-step becomes a handful of large
+tensor operations for the *entire bucket*.
+
+Fusing is sound because per-table factor graphs are disconnected components:
+no factor ever connects variables of two tables, so messages never flow
+between tables and the fused trajectory is the per-table trajectory, merely
+evaluated side by side.  Three details make it *bit*-exact, not just
+approximately equal:
+
+* **Row ordering.**  Within a fused block, each table's factors appear in the
+  same relative order the per-table :class:`~repro.graph.compiled.FactorBlock`
+  would hold them, and fused blocks of one kind are indexed by the per-table
+  bucket *rank* (a table's first bucket of that kind feeds fused block 0, its
+  second feeds block 1, …).  Scatter-adds into the running belief totals
+  therefore replay each table's float-summation order exactly.
+* **Head padding.**  Unlike per-table blocks, the head axis is padded too
+  (tables with different head-domain sizes share a fused block).  Padded
+  slots hold ``-inf`` log-potentials and ``-inf`` unaries; max-reductions
+  ignore them, factor→variable messages are zeroed there before scattering,
+  and the validity masks exclude them from convergence deltas — so padded
+  slots never perturb a real slot's value.
+* **Per-table freezing.**  Convergence is tracked per table: once a table's
+  iteration delta drops below tolerance its rows stop updating (stored
+  messages are kept, scatter contributions become exact ``+0.0``), which
+  reproduces the per-table engine's early stopping — including the reported
+  iteration counts — inside one fused run.
+
+The per-table engines remain the reference; equivalence is enforced by
+``tests/pipeline/test_fused.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.compiled import PAPER_SCHEDULE, ScatterPlan
+
+#: reusable per-thread work tensors: the factor→variable update's summed
+#: potentials are the largest arrays the engine touches, and allocating
+#: them fresh every call costs page faults that rival the arithmetic
+_SCRATCH = threading.local()
+
+
+def _borrow(role: str, shape: tuple[int, ...]) -> np.ndarray:
+    """A per-thread scratch array of ``shape``, reused across calls.
+
+    Each role owns one growing buffer; callers must finish with a borrowed
+    view before borrowing the same role again.  Every element is written by
+    the ufunc ``out=`` before being read, so stale contents are harmless.
+    """
+    buffers = _SCRATCH.__dict__.setdefault("buffers", {})
+    count = math.prod(shape)
+    buffer = buffers.get(role)
+    if buffer is None or buffer.size < count:
+        buffers[role] = buffer = np.empty(count)
+    return buffer[:count].reshape(shape)
+
+
+@dataclass
+class FusedBlock:
+    """All factors of one (kind, per-table bucket rank), across tables."""
+
+    kind: str
+    #: padded domain sizes per argument position (head included — see module
+    #: docstring; per-table blocks never pad the head, fused blocks do)
+    shape: tuple[int, ...]
+    #: stacked log-potentials, shape ``(n_factors, *shape)``; padded slots
+    #: hold ``-inf`` so they can never win a max-marginalisation
+    tables: np.ndarray
+    #: global variable ids per position, shape ``(n_positions, n_factors)``
+    var_ids: np.ndarray
+    #: owning table index per factor row, shape ``(n_factors,)``
+    table_ids: np.ndarray
+    #: per position: boolean (n_factors, shape[p]) mask of real domain slots
+    valid: tuple[np.ndarray, ...]
+    #: per position: True when every slot is real (no padding on that axis),
+    #: letting updates skip the masked-subtract and zeroing passes
+    uniform: tuple[bool, ...]
+    #: first factor-row index of each table's contiguous run of rows
+    group_starts: np.ndarray
+    #: owning table index per run, aligned with ``group_starts``
+    group_tables: np.ndarray
+    #: per position: precompiled scatter of message rows into variable totals
+    scatter: tuple[ScatterPlan, ...]
+
+    @property
+    def n_factors(self) -> int:
+        return len(self.table_ids)
+
+    @property
+    def n_positions(self) -> int:
+        return len(self.shape)
+
+
+class FusedGraph:
+    """The disconnected union of a bucket's factor graphs, block-stacked.
+
+    Purely structural — construction (from per-table annotation problems)
+    lives in :mod:`repro.core.fused`; this class only carries the arrays the
+    fused engine runs on.  Instances are immutable and shareable across
+    engines and threads (each engine owns its message state).
+    """
+
+    def __init__(
+        self,
+        sizes: np.ndarray,
+        unaries: np.ndarray,
+        var_table_ids: np.ndarray,
+        blocks: list[FusedBlock],
+        kind_blocks: dict[str, list[int]],
+        n_tables: int,
+    ) -> None:
+        self.sizes = sizes
+        self.unaries = unaries
+        self.var_table_ids = var_table_ids
+        self.blocks = blocks
+        self.kind_blocks = kind_blocks
+        self.n_tables = n_tables
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def n_factors(self) -> int:
+        return sum(block.n_factors for block in self.blocks)
+
+
+class FusedMaxProductBP:
+    """Max-product BP over a :class:`FusedGraph` with per-table freezing.
+
+    The update rules are those of
+    :class:`~repro.graph.compiled.BatchedMaxProductBP` verbatim — gather /
+    exclusive-sum / max-reduce / normalise — applied to blocks that span
+    tables.  The only additions are the per-table ``active`` mask (frozen
+    tables keep their stored messages and contribute exact ``+0.0`` to the
+    totals) and per-table delta accounting, which together reproduce the
+    per-table engine's early stopping bit for bit.
+    """
+
+    def __init__(self, fused: FusedGraph, damping: float = 0.0) -> None:
+        if not 0.0 <= damping < 1.0:
+            raise ValueError(f"damping must be in [0, 1): {damping}")
+        self.fused = fused
+        self.damping = damping
+        self._var_to_factor: list[list[np.ndarray]] = [
+            [
+                np.where(block.valid[position], 0.0, -np.inf)
+                for position in range(block.n_positions)
+            ]
+            for block in fused.blocks
+        ]
+        self._factor_to_var: list[list[np.ndarray]] = [
+            [np.zeros((block.n_factors, size)) for size in block.shape]
+            for block in fused.blocks
+        ]
+        self._totals = fused.unaries.copy()
+        self._active = np.ones(fused.n_tables, dtype=bool)
+        self._deltas = np.zeros(fused.n_tables)
+        self._belief_matrix: np.ndarray | None = None
+        # per-block row selections and compacted scatter plans are pure
+        # functions of the frozen set, so they are cached between freezes
+        self._selection_cache: dict[
+            int, tuple[slice | np.ndarray, int, tuple[np.ndarray, np.ndarray]] | None
+        ] = {}
+        self._plan_cache: dict[tuple[int, int], ScatterPlan] = {}
+
+    # ------------------------------------------------------------------
+    # block primitives
+    # ------------------------------------------------------------------
+    def _accumulate_delta(
+        self,
+        groups: tuple[np.ndarray, np.ndarray],
+        message: np.ndarray,
+        old: np.ndarray,
+        valid: np.ndarray | None,
+    ) -> None:
+        """Fold one update's per-row deltas into the per-table maxima.
+
+        ``groups`` is ``(group_starts, group_tables)`` — each table's
+        contiguous run of rows — so one flat ``maximum.reduceat`` yields all
+        per-table maxima at once (each table appears once, making the plain
+        fancy assignment safe).  ``valid`` masks the subtraction where
+        messages carry ``-inf`` at padded slots (``-inf - -inf`` would be
+        NaN); pass ``None`` when both operands are finite everywhere
+        (uniform blocks, or factor→variable messages already zeroed at
+        padded slots) — the plain subtraction yields the identical delta.
+        """
+        if not message.size:
+            return
+        difference = _borrow("delta", message.shape)
+        if valid is None:
+            np.subtract(message, old, out=difference)
+        else:
+            difference.fill(0.0)
+            np.subtract(message, old, out=difference, where=valid)
+        np.abs(difference, out=difference)
+        starts, tables = groups
+        group_delta = np.maximum.reduceat(
+            difference.reshape(-1), starts * message.shape[1]
+        )
+        self._deltas[tables] = np.maximum(self._deltas[tables], group_delta)
+
+    def _accumulate_abs_delta(
+        self,
+        groups: tuple[np.ndarray, np.ndarray],
+        difference: np.ndarray,
+    ) -> None:
+        """`_accumulate_delta` for a caller that already holds the diff.
+
+        ``difference`` is left untouched (the caller reuses it for the
+        totals scatter), so the absolute values land in separate scratch.
+        """
+        if not difference.size:
+            return
+        magnitude = _borrow("delta", difference.shape)
+        np.abs(difference, out=magnitude)
+        starts, tables = groups
+        group_delta = np.maximum.reduceat(
+            magnitude.reshape(-1), starts * difference.shape[1]
+        )
+        self._deltas[tables] = np.maximum(self._deltas[tables], group_delta)
+
+    def _active_block_rows(
+        self, block_id: int, block: FusedBlock
+    ) -> tuple[slice | np.ndarray, int, tuple[np.ndarray, np.ndarray]] | None:
+        """Row selector and delta groups for a block's still-active tables.
+
+        Returns ``None`` when every owning table froze (the whole update is
+        a no-op: the per-table engine performs no updates after its run
+        ends).  Otherwise returns ``(rows, n_rows, groups)`` where ``rows``
+        is ``slice(None)`` when all rows are active and an index array when
+        frozen rows must be compacted out, and ``groups`` are the per-table
+        row runs for delta accounting.  Skipping frozen rows entirely is
+        exact: a frozen table's variables receive messages only from its own
+        factors, so every value the skipped work would touch stays bitwise
+        untouched — precisely the per-table engine's early stopping.
+
+        The selection only depends on the frozen set, so it is computed once
+        per block per freeze epoch (six half-steps reuse it each iteration).
+        """
+        if block_id in self._selection_cache:
+            return self._selection_cache[block_id]
+        active_rows = self._active[block.table_ids]
+        selection: (
+            tuple[slice | np.ndarray, int, tuple[np.ndarray, np.ndarray]] | None
+        )
+        if active_rows.all():
+            selection = (
+                slice(None),
+                len(block.table_ids),
+                (block.group_starts, block.group_tables),
+            )
+        elif not active_rows.any():
+            selection = None
+        else:
+            rows = np.flatnonzero(active_rows)
+            table_ids = block.table_ids[rows]
+            # compacted rows keep each surviving table's run contiguous, so
+            # the group boundaries are just the remaining table-id changes
+            boundaries = np.flatnonzero(table_ids[1:] != table_ids[:-1]) + 1
+            starts = np.concatenate(([0], boundaries))
+            selection = rows, len(rows), (starts, table_ids[starts])
+        self._selection_cache[block_id] = selection
+        return selection
+
+    def update_block_vars_to_factor(
+        self, block_id: int, positions: Iterable[int]
+    ) -> None:
+        """Batched ``M(variable → factor)``, frozen tables compacted out."""
+        block = self.fused.blocks[block_id]
+        selection = self._active_block_rows(block_id, block)
+        if selection is None:
+            return
+        rows, _n_rows, groups = selection
+        all_active = isinstance(rows, slice)
+        store = self._var_to_factor[block_id]
+        for position in positions:
+            size = block.shape[position]
+            var_ids = block.var_ids[position][rows]
+            # the gather is a fresh copy, so the arithmetic can run in place
+            message = self._totals[var_ids, :size]
+            np.subtract(
+                message,
+                self._factor_to_var[block_id][position][rows],
+                out=message,
+            )
+            np.subtract(
+                message, message.max(axis=1, keepdims=True), out=message
+            )
+            old = store[position] if all_active else store[position][rows]
+            self._accumulate_delta(
+                groups,
+                message,
+                old,
+                None if block.uniform[position] else block.valid[position][rows],
+            )
+            if self.damping:
+                message = self.damping * old + (1.0 - self.damping) * message
+            if all_active:
+                store[position] = message
+            else:
+                store[position][rows] = message
+        self._belief_matrix = None
+
+    def update_block_factor_to_vars(
+        self, block_id: int, positions: Iterable[int]
+    ) -> None:
+        """Batched ``M(factor → variable)``, frozen tables compacted out."""
+        block = self.fused.blocks[block_id]
+        selection = self._active_block_rows(block_id, block)
+        if selection is None:
+            return
+        rows, n_rows, groups = selection
+        all_active = isinstance(rows, slice)
+        store = self._factor_to_var[block_id]
+        targets = list(positions)
+        reshaped: list[np.ndarray] = []
+        for position in range(block.n_positions):
+            incoming = self._var_to_factor[block_id][position]
+            shape = [n_rows] + [1] * block.n_positions
+            shape[position + 1] = block.shape[position]
+            reshaped.append(incoming[rows].reshape(shape))
+        # the non-target incomings are common to every target's work tensor:
+        # fold them into one shared base instead of re-adding per target
+        base = block.tables[rows]
+        for position in range(block.n_positions):
+            if position not in targets:
+                out = _borrow("f2v-base", base.shape)
+                np.add(base, reshaped[position], out=out)
+                base = out
+        for target in targets:
+            work = base
+            for position in targets:
+                if position != target:
+                    out = _borrow("f2v-work", work.shape)
+                    np.add(work, reshaped[position], out=out)
+                    work = out
+            reduce_axes = tuple(
+                axis + 1 for axis in range(block.n_positions) if axis != target
+            )
+            # the reduction materialises a fresh array (work may be scratch,
+            # so the no-reduction case must copy before the in-place steps)
+            message = (
+                work.max(axis=reduce_axes) if reduce_axes else work.copy()
+            )
+            np.subtract(
+                message, message.max(axis=1, keepdims=True), out=message
+            )
+            if not block.uniform[target]:
+                message = np.where(block.valid[target][rows], message, 0.0)
+            old = store[target] if all_active else store[target][rows]
+            if self.damping:
+                # both operands are exactly 0.0 at invalid slots, so the
+                # plain subtraction already yields the per-table masked delta
+                self._accumulate_delta(groups, message, old, None)
+                message = self.damping * old + (1.0 - self.damping) * message
+                difference = message - old
+            else:
+                # undamped, the delta diff and the scatter diff coincide:
+                # compute it once and fold |diff| into the per-table maxima
+                difference = _borrow("f2v-diff", message.shape)
+                np.subtract(message, old, out=difference)
+                self._accumulate_abs_delta(groups, difference)
+            var_ids = block.var_ids[target][rows]
+            if all_active:
+                plan = block.scatter[target]
+            else:
+                plan = self._plan_cache.get((block_id, target))
+                if plan is None:
+                    plan = ScatterPlan.for_ids(var_ids)
+                    self._plan_cache[block_id, target] = plan
+            # a variable's factor rows all live in one table, so compaction
+            # drops whole scatter groups (whose deltas would be exact +0.0)
+            # and keeps the surviving groups' float-summation order intact
+            plan.add(
+                self._totals[:, : block.shape[target]], difference, var_ids
+            )
+            if all_active:
+                store[target] = message
+            else:
+                store[target][rows] = message
+        self._belief_matrix = None
+
+    # ------------------------------------------------------------------
+    # schedule
+    # ------------------------------------------------------------------
+    def run_paper_schedule(
+        self, max_iterations: int = 10, tolerance: float = 1e-5
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The Figure-11 block schedule with per-table early stopping.
+
+        Returns ``(iterations, converged)`` arrays indexed by table: each
+        table reports the iteration count and convergence flag the per-table
+        ``run_paper_schedule`` would have reported for it alone.
+        """
+        n_tables = self.fused.n_tables
+        iterations = np.zeros(n_tables, dtype=np.intp)
+        converged = np.zeros(n_tables, dtype=bool)
+        for iteration in range(1, max_iterations + 1):
+            self._deltas.fill(0.0)
+            for kind, var_positions, factor_positions in PAPER_SCHEDULE:
+                for block_id in self.fused.kind_blocks.get(kind, ()):
+                    self.update_block_vars_to_factor(block_id, var_positions)
+                for block_id in self.fused.kind_blocks.get(kind, ()):
+                    self.update_block_factor_to_vars(block_id, factor_positions)
+            iterations[self._active] = iteration
+            newly_frozen = self._active & (self._deltas < tolerance)
+            if newly_frozen.any():
+                converged |= newly_frozen
+                self._active &= ~newly_frozen
+                self._selection_cache.clear()
+                self._plan_cache.clear()
+                if not self._active.any():
+                    break
+        return iterations, converged
+
+    # ------------------------------------------------------------------
+    # beliefs
+    # ------------------------------------------------------------------
+    def belief_matrix(self) -> np.ndarray:
+        """All variable beliefs, shape ``(n_variables, max_size)``.
+
+        Rows are normalised to max 0; slots beyond a variable's domain are
+        ``-inf``.  Cached until the next message update.
+        """
+        if self._belief_matrix is None:
+            self._belief_matrix = self._totals - self._totals.max(
+                axis=1, keepdims=True
+            )
+        return self._belief_matrix
+
+    def belief(self, variable_id: int) -> np.ndarray:
+        """Max-marginal log-belief of one variable (normalised to max 0)."""
+        return self.belief_matrix()[variable_id, : self.fused.sizes[variable_id]]

@@ -43,12 +43,14 @@ from repro.pipeline.cache import (
     CachingCandidateGenerator,
     LRUCache,
 )
-from repro.pipeline.executor import execute_batches, iter_batches
+from repro.core.fused import annotate_fused_chunk, fused_eligible
+from repro.pipeline.executor import EXECUTORS, BatchExecutor, iter_batches
 from repro.pipeline.io import (
     annotation_to_dict,
     iter_corpus_jsonl,
     write_annotations_jsonl,
 )
+from repro.pipeline.planner import iter_bucket_chunks, plan_buckets
 from repro.tables.model import LabeledTable, Table
 
 
@@ -56,9 +58,11 @@ from repro.tables.model import LabeledTable, Table
 class PipelineConfig:
     """Configuration of corpus-scale annotation.
 
-    ``workers=1`` runs batches inline; ``workers>1`` uses a thread pool.
-    ``cache_size=0`` disables the shared candidate cache (every cell probes
-    the lemma index, as the seed code did).
+    ``workers=1`` runs batches inline; ``workers>1`` uses the configured
+    ``executor`` ("thread" on a shared-memory thread pool, "process" on a
+    fork-based process pool whose workers inherit the warm state
+    copy-on-write).  ``cache_size=0`` disables the shared candidate cache
+    (every cell probes the lemma index, as the seed code did).
     """
 
     batch_size: int = 16
@@ -68,6 +72,9 @@ class PipelineConfig:
     #: graphs are far heavier than feature blocks, so the bound is separate
     #: and much smaller than ``cache_size``
     compiled_cache_size: int = 2048
+    #: "serial", "thread" or "process" — how batches are executed when
+    #: ``workers > 1`` (see :mod:`repro.pipeline.executor`)
+    executor: str = "thread"
     annotator: AnnotatorConfig = field(default_factory=AnnotatorConfig)
 
     def __post_init__(self) -> None:
@@ -79,6 +86,8 @@ class PipelineConfig:
             raise ValueError("cache_size must be >= 0")
         if self.compiled_cache_size < 0:
             raise ValueError("compiled_cache_size must be >= 0")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor: {self.executor!r}")
 
 
 @dataclass
@@ -118,6 +127,12 @@ class CorpusTimingReport:
     block_cache: CacheStats | None = None
     #: compiled-factor-graph-cache activity during this run (None when disabled)
     compiled_cache: CacheStats | None = None
+    #: fusion mode this run executed under ("off" or "bucket")
+    fusion: str = "off"
+    #: number of fused work units executed (0 when fusion is off)
+    fused_batches: int = 0
+    #: tables per fused work unit, in execution order
+    bucket_sizes: list[int] = field(default_factory=list)
     finished: bool = False
 
     def record(self, timing: AnnotationTiming) -> None:
@@ -156,6 +171,15 @@ class CorpusTimingReport:
     @property
     def cache_hit_rate(self) -> float:
         return self.cache.hit_rate if self.cache else 0.0
+
+    # -- fusion -------------------------------------------------------------
+    @property
+    def bucket_size_histogram(self) -> dict[int, int]:
+        """``{bucket size: count}`` over the fused work units of this run."""
+        histogram: dict[int, int] = {}
+        for size in self.bucket_sizes:
+            histogram[size] = histogram.get(size, 0) + 1
+        return dict(sorted(histogram.items()))
 
 
 class AnnotationPipeline:
@@ -202,7 +226,21 @@ class AnnotationPipeline:
                 max_entries=self.config.compiled_cache_size
             )
             self.annotator.compiled_cache = self.compiled_cache
+        #: one persistent executor for the pipeline's lifetime — repeated
+        #: corpus runs reuse the same pool instead of paying construction
+        #: and teardown per call (see :class:`BatchExecutor`)
+        self.executor = BatchExecutor(self.config.executor, self.config.workers)
         self.last_report: CorpusTimingReport | None = None
+
+    def close(self) -> None:
+        """Release the pipeline's executor pool (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "AnnotationPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def catalog(self) -> Catalog:
@@ -230,14 +268,20 @@ class AnnotationPipeline:
     ) -> Iterator[tuple[Table, TableAnnotation]]:
         """Stream ``(table, annotation)`` pairs in corpus order.
 
-        Tables are chunked into ``config.batch_size`` batches and executed
-        serially or on a thread pool (``config.workers``); either way pairs
-        come back in exactly the order the input iterable produced them, and
-        only ``O(workers × batch_size)`` tables are in flight at once.
+        With ``fusion="off"`` tables are chunked into ``config.batch_size``
+        batches and executed on the pipeline's executor; pairs come back in
+        exactly the order the input iterable produced them, and only
+        ``O(workers × batch_size)`` tables are in flight at once.
+
+        With ``fusion="bucket"`` the corpus is materialised, planned into
+        shape buckets (:mod:`repro.pipeline.planner`) and annotated as fused
+        cross-table work units — trading streaming memory for throughput.
+        Output order is still corpus order, and annotations are identical to
+        the per-table path's.
 
         Consuming the stream to the end finalises :attr:`last_report`.
         """
-        report = CorpusTimingReport()
+        report = CorpusTimingReport(fusion=self.config.annotator.fusion)
         self.last_report = report
         stats_before = self.cache_stats()
         blocks_before = (
@@ -248,34 +292,15 @@ class AnnotationPipeline:
         )
         start = time.perf_counter()
 
-        def annotate_batch(
-            batch: list[Table | LabeledTable],
-        ) -> tuple[list[tuple[Table, TableAnnotation]], float]:
-            batch_start = time.perf_counter()
-            pairs: list[tuple[Table, TableAnnotation]] = []
-            for item in batch:
-                table = item.table if isinstance(item, LabeledTable) else item
-                pairs.append((table, self.annotator.annotate(table)))
-            return pairs, time.perf_counter() - batch_start
-
-        batches = iter_batches(tables, self.config.batch_size)
-        for batch_index, (pairs, batch_wall) in enumerate(
-            execute_batches(batches, annotate_batch, self.config.workers)
-        ):
-            timings = [pair[1].diagnostics["timing"] for pair in pairs]
-            for timing in timings:
-                report.record(timing)
-            report.batches.append(
-                BatchTiming(
-                    batch_index=batch_index,
-                    n_tables=len(pairs),
-                    wall_seconds=batch_wall,
-                    total_seconds=sum(t.total_seconds for t in timings),
-                    candidate_seconds=sum(t.candidate_seconds for t in timings),
-                    inference_seconds=sum(t.inference_seconds for t in timings),
-                )
-            )
-            yield from pairs
+        if self.config.annotator.fusion == "bucket":
+            yield from self._fused_stream(tables, report)
+        else:
+            batches = iter_batches(tables, self.config.batch_size)
+            for batch_index, (pairs, batch_wall) in enumerate(
+                self.executor.map_ordered(batches, self._annotate_batch)
+            ):
+                self._record_batch(report, batch_index, pairs, batch_wall)
+                yield from pairs
 
         report.wall_seconds = time.perf_counter() - start
         stats_after = self.cache_stats()
@@ -288,6 +313,86 @@ class AnnotationPipeline:
                 compiled_before
             )
         report.finished = True
+
+    # ------------------------------------------------------------------
+    # batch workers (stable bound methods so the process executor can ship
+    # them to forked workers without re-forking per call)
+    # ------------------------------------------------------------------
+    def _annotate_batch(
+        self, batch: list[Table | LabeledTable]
+    ) -> tuple[list[tuple[Table, TableAnnotation]], float]:
+        batch_start = time.perf_counter()
+        pairs: list[tuple[Table, TableAnnotation]] = []
+        for item in batch:
+            table = item.table if isinstance(item, LabeledTable) else item
+            pairs.append((table, self.annotator.annotate(table)))
+        return pairs, time.perf_counter() - batch_start
+
+    def _annotate_unit(
+        self, unit: tuple[tuple, list[tuple[int, Table]]]
+    ) -> tuple[list[tuple[int, Table, TableAnnotation]], float]:
+        """Annotate one fused work unit (a chunk of one shape bucket)."""
+        unit_start = time.perf_counter()
+        signature, entries = unit
+        chunk_tables = [table for _position, table in entries]
+        if fused_eligible(self.annotator):
+            annotations = annotate_fused_chunk(
+                self.annotator, chunk_tables, signature
+            )
+        else:
+            # engine combinations the fused BP does not cover run per table;
+            # planning, ordering and reporting stay identical either way
+            annotations = [self.annotator.annotate(table) for table in chunk_tables]
+        results = [
+            (position, table, annotation)
+            for (position, table), annotation in zip(entries, annotations)
+        ]
+        return results, time.perf_counter() - unit_start
+
+    def _record_batch(
+        self,
+        report: CorpusTimingReport,
+        batch_index: int,
+        pairs: list,
+        batch_wall: float,
+    ) -> None:
+        timings = [pair[-1].diagnostics["timing"] for pair in pairs]
+        for timing in timings:
+            report.record(timing)
+        report.batches.append(
+            BatchTiming(
+                batch_index=batch_index,
+                n_tables=len(pairs),
+                wall_seconds=batch_wall,
+                total_seconds=sum(t.total_seconds for t in timings),
+                candidate_seconds=sum(t.candidate_seconds for t in timings),
+                inference_seconds=sum(t.inference_seconds for t in timings),
+            )
+        )
+
+    def _fused_stream(
+        self,
+        tables: Iterable[Table | LabeledTable],
+        report: CorpusTimingReport,
+    ) -> Iterator[tuple[Table, TableAnnotation]]:
+        items = [
+            item.table if isinstance(item, LabeledTable) else item
+            for item in tables
+        ]
+        plan = plan_buckets(items)
+        units = list(iter_bucket_chunks(plan, self.config.batch_size))
+        ordered: list[tuple[Table, TableAnnotation] | None] = [None] * len(items)
+        for unit_index, (results, unit_wall) in enumerate(
+            self.executor.map_ordered(units, self._annotate_unit)
+        ):
+            report.fused_batches += 1
+            report.bucket_sizes.append(len(results))
+            self._record_batch(report, unit_index, results, unit_wall)
+            for position, table, annotation in results:
+                ordered[position] = (table, annotation)
+        for pair in ordered:
+            assert pair is not None
+            yield pair
 
     def annotate_stream(
         self, tables: Iterable[Table | LabeledTable]

@@ -1,0 +1,92 @@
+"""Shape-bucketed corpus planning for fused execution.
+
+Fused annotation (:mod:`repro.core.fused`) merges a group of tables into one
+cross-table BP run; the merge pays off when the grouped tables have similar
+shape, because their factor blocks then stack with little padding.  This
+module owns that grouping: every table gets a **signature** — ``(rows,
+columns, per-column numeric mask)`` — and the corpus is partitioned into one
+bucket per signature.
+
+Planning is deterministic *and* permutation-invariant: buckets are ordered
+by signature, tables within a bucket by ``(table_id, corpus position)``, so
+two permutations of the same corpus produce the same plan (up to the
+recorded corpus positions, which exist so callers can restore the original
+output order).  The hypothesis property tests in
+``tests/pipeline/test_planner.py`` pin this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.tables.model import Table
+from repro.text.normalize import is_numeric_text
+
+#: (n_rows, n_columns, per-column numeric mask)
+Signature = tuple[int, int, tuple[bool, ...]]
+
+
+def table_signature(table: Table) -> Signature:
+    """The shape-bucket signature of one table.
+
+    A column counts as numeric when every non-blank cell is numeric text —
+    the same :func:`~repro.text.normalize.is_numeric_text` guard candidate
+    generation uses, so a bucket's tables agree on which columns can carry
+    entity variables at all.
+    """
+    mask = tuple(
+        all(
+            not cell.strip() or is_numeric_text(cell)
+            for cell in table.column(column)
+        )
+        for column in range(table.n_columns)
+    )
+    return (table.n_rows, table.n_columns, mask)
+
+
+@dataclass
+class Bucket:
+    """One shape class of the corpus: its signature and member tables."""
+
+    signature: Signature
+    #: (corpus position, table), ordered by (table_id, corpus position)
+    entries: list[tuple[int, Table]]
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+
+def plan_buckets(tables: Sequence[Table]) -> list[Bucket]:
+    """Partition a corpus into shape buckets, deterministically.
+
+    Bucket order follows the signatures' natural ordering; entries within a
+    bucket are sorted by ``(table_id, corpus position)``, which makes the
+    plan invariant under corpus permutation whenever table ids are unique.
+    """
+    groups: dict[Signature, list[tuple[int, Table]]] = {}
+    for position, table in enumerate(tables):
+        groups.setdefault(table_signature(table), []).append((position, table))
+    plan: list[Bucket] = []
+    for signature in sorted(groups):
+        entries = sorted(
+            groups[signature], key=lambda entry: (entry[1].table_id, entry[0])
+        )
+        plan.append(Bucket(signature=signature, entries=entries))
+    return plan
+
+
+def iter_bucket_chunks(
+    plan: Iterable[Bucket], chunk_size: int
+) -> Iterator[tuple[Signature, list[tuple[int, Table]]]]:
+    """Split every bucket into work units of at most ``chunk_size`` tables.
+
+    Chunking bounds the memory of one fused graph (and the payload shipped
+    to a pool worker) the same way ``batch_size`` bounds per-table batches.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    for bucket in plan:
+        for start in range(0, len(bucket.entries), chunk_size):
+            yield bucket.signature, bucket.entries[start : start + chunk_size]

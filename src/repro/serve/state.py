@@ -80,6 +80,8 @@ def _session_config(
     return SessionConfig(
         engine=engine,
         candidate_engine=pipeline_config.annotator.candidate_engine,
+        fusion=pipeline_config.annotator.fusion,
+        executor=pipeline_config.executor,
         workers=pipeline_config.workers,
         batch_size=pipeline_config.batch_size,
         cache_size=pipeline_config.cache_size,
@@ -167,6 +169,14 @@ class ServeState:
                     "entries": stats.entries,
                     "evictions": stats.evictions,
                 }
+            report = pipeline.last_report
+            entry["fusion"] = {
+                "mode": pipeline.config.annotator.fusion,
+                "fused_batches": report.fused_batches if report else 0,
+                "bucket_size_histogram": (
+                    report.bucket_size_histogram if report else {}
+                ),
+            }
             caches[engine] = entry
         snapshot["caches"] = caches
         snapshot["bundle"] = {

@@ -299,6 +299,22 @@ class InvertedIndex:
         self._key_rank = rank
         self._doc_key_id = doc_key_id
 
+    def _compact_scratch(self, n: int) -> np.ndarray:
+        """A zeroed length-``n`` view of this thread's pooled accumulator.
+
+        The backing buffer grows geometrically and is reused across
+        :meth:`_search_compact` calls, so batch scoring stops allocating a
+        fresh score vector per query.  Zero-filling a view is value-identical
+        to ``np.zeros(n)``, keeping batch scores bit-identical.
+        """
+        buffer = getattr(self._scratch, "compact", None)
+        if buffer is None or len(buffer) < n:
+            buffer = np.zeros(max(n, 2 * len(buffer) if buffer is not None else n))
+            self._scratch.compact = buffer
+        view = buffer[:n]
+        view.fill(0.0)
+        return view
+
     def _search_compact(
         self, query_counts: Counter[str], top_k: int
     ) -> list[IndexHit]:
@@ -318,7 +334,7 @@ class InvertedIndex:
         if not entries:
             return []
         hit_ids = np.unique(np.concatenate([entry[0] for _, entry in entries]))
-        scores = np.zeros(len(hit_ids))
+        scores = self._compact_scratch(len(hit_ids))
         for query_count, (doc_ids, weighted_counts) in entries:
             positions = np.searchsorted(hit_ids, doc_ids)
             scores[positions] += query_count * weighted_counts

@@ -1,11 +1,13 @@
 """Tests for batched execution: chunking, ordering, parallelism."""
 
+import multiprocessing
+import os
 import threading
 import time
 
 import pytest
 
-from repro.pipeline.executor import execute_batches, iter_batches
+from repro.pipeline.executor import BatchExecutor, execute_batches, iter_batches
 
 
 class TestIterBatches:
@@ -111,3 +113,72 @@ class TestExecuteBatches:
         for _ in range(3):
             next(stream)
         assert len(consumed) <= 3 + 2 * 2 + 1
+
+
+def _square_batch(batch):
+    return [item * item for item in batch]
+
+
+class TestBatchExecutor:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor("fiber")
+
+    def test_serial_runs_inline(self):
+        with BatchExecutor("serial") as executor:
+            results = list(executor.map_ordered([[1, 2], [3]], sum))
+        assert results == [3, 3]
+
+    def test_thread_pool_persists_across_calls(self):
+        thread_ids: set[int] = set()
+
+        def record(batch):
+            thread_ids.add(threading.get_ident())
+            return batch
+
+        with BatchExecutor("thread", max_workers=2) as executor:
+            for _ in range(3):
+                list(executor.map_ordered([[1]], record))
+            first_pool = executor._pool
+            assert first_pool is not None
+            list(executor.map_ordered([[2]], record))
+            assert executor._pool is first_pool
+        assert executor._pool is None
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="process executor requires the fork start method",
+    )
+    def test_process_pool_runs_in_workers(self):
+        with BatchExecutor("process", max_workers=2) as executor:
+            results = list(
+                executor.map_ordered([[1, 2], [3, 4]], _square_batch)
+            )
+            assert results == [[1, 4], [9, 16]]
+            # pool survives for a second stream with the same worker
+            pool = executor._pool
+            assert list(executor.map_ordered([[5]], _square_batch)) == [[25]]
+            assert executor._pool is pool
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="process executor requires the fork start method",
+    )
+    def test_process_pool_inherits_parent_state(self):
+        # forked workers see the parent's memory at fork time: a closure over
+        # parent-side state works without any pickling of that state
+        payload = {"parent_pid": os.getpid(), "blob": list(range(100))}
+
+        def probe(batch):
+            return (os.getpid() != payload["parent_pid"], sum(payload["blob"]))
+
+        with BatchExecutor("process", max_workers=2) as executor:
+            (in_child, checksum), = executor.map_ordered([[0]], probe)
+        assert in_child
+        assert checksum == sum(range(100))
+
+    def test_close_is_idempotent(self):
+        executor = BatchExecutor("thread", max_workers=2)
+        list(executor.map_ordered([[1]], sum))
+        executor.close()
+        executor.close()

@@ -1,0 +1,127 @@
+"""Fused corpus execution must be invisible in the output.
+
+``fusion="bucket"`` reorders work (shape buckets, cross-table BP, optional
+pools) but the annotation stream must be byte-identical to the per-table
+path for every engine combination and executor — these tests compare the
+full ``annotation_to_dict`` payloads, the same serialisation the JSONL
+corpus path writes.
+"""
+
+import pytest
+
+from repro.core.annotator import AnnotatorConfig
+from repro.pipeline.io import annotation_to_dict
+from repro.pipeline.pipeline import AnnotationPipeline, PipelineConfig
+
+
+def annotate_corpus(world, tables, **kwargs):
+    """All annotations for ``tables`` under one pipeline configuration."""
+    annotator_fields = {
+        key: kwargs.pop(key)
+        for key in ("engine", "candidate_engine", "fusion", "with_relations")
+        if key in kwargs
+    }
+    config = PipelineConfig(
+        annotator=AnnotatorConfig(**annotator_fields), **kwargs
+    )
+    with AnnotationPipeline(world.annotator_view, config=config) as pipeline:
+        payloads = [
+            annotation_to_dict(annotation)
+            for _table, annotation in pipeline.annotate_with_tables(tables)
+        ]
+        report = pipeline.last_report
+    return payloads, report
+
+
+@pytest.fixture(scope="module")
+def corpus(wiki_tables):
+    return [labeled.table for labeled in wiki_tables[:8]]
+
+
+@pytest.fixture(scope="module")
+def serial_payloads(world, corpus):
+    payloads, _report = annotate_corpus(world, corpus)
+    return payloads
+
+
+class TestFusedEquality:
+    @pytest.mark.parametrize("engine", ["batched", "scalar"])
+    @pytest.mark.parametrize("candidate_engine", ["batched", "scalar"])
+    def test_identical_for_every_engine_combination(
+        self, world, corpus, engine, candidate_engine
+    ):
+        expected, _ = annotate_corpus(
+            world, corpus, engine=engine, candidate_engine=candidate_engine
+        )
+        fused, report = annotate_corpus(
+            world,
+            corpus,
+            engine=engine,
+            candidate_engine=candidate_engine,
+            fusion="bucket",
+        )
+        assert fused == expected
+        assert report.fusion == "bucket"
+        assert report.fused_batches == len(report.bucket_sizes) > 0
+        assert sum(report.bucket_sizes) == len(corpus)
+
+    def test_identical_without_relations(self, world, corpus):
+        expected, _ = annotate_corpus(world, corpus, with_relations=False)
+        fused, _ = annotate_corpus(
+            world, corpus, with_relations=False, fusion="bucket"
+        )
+        assert fused == expected
+
+    def test_identical_on_thread_executor(self, world, corpus, serial_payloads):
+        fused, _ = annotate_corpus(
+            world, corpus, fusion="bucket", executor="thread", workers=2
+        )
+        assert fused == serial_payloads
+
+    def test_identical_on_process_executor(self, world, corpus, serial_payloads):
+        fused, report = annotate_corpus(
+            world, corpus, fusion="bucket", executor="process", workers=2
+        )
+        assert fused == serial_payloads
+        assert report.finished
+
+    def test_duplicate_tables_share_buckets(self, world, corpus):
+        doubled = list(corpus) + list(corpus)
+        expected, _ = annotate_corpus(world, doubled)
+        fused, report = annotate_corpus(world, doubled, fusion="bucket")
+        assert fused == expected
+        assert max(report.bucket_size_histogram) >= 2
+
+    def test_output_order_is_corpus_order(self, world, corpus):
+        reversed_corpus = list(reversed(corpus))
+        config = PipelineConfig(annotator=AnnotatorConfig(fusion="bucket"))
+        with AnnotationPipeline(world.annotator_view, config=config) as pipeline:
+            pairs = list(pipeline.annotate_with_tables(reversed_corpus))
+        assert [table.table_id for table, _ in pairs] == [
+            table.table_id for table in reversed_corpus
+        ]
+        assert all(
+            annotation.table_id == table.table_id
+            for table, annotation in pairs
+        )
+
+
+class TestPipelineLifecycle:
+    def test_close_is_idempotent(self, world, corpus):
+        pipeline = AnnotationPipeline(world.annotator_view)
+        list(pipeline.annotate_with_tables(corpus[:2]))
+        pipeline.close()
+        pipeline.close()
+
+    def test_fusion_knob_validated(self, world):
+        with pytest.raises(ValueError, match="fusion"):
+            AnnotationPipeline(
+                world.annotator_view,
+                config=PipelineConfig(
+                    annotator=AnnotatorConfig(fusion="bogus")
+                ),
+            )
+
+    def test_executor_knob_validated(self):
+        with pytest.raises(ValueError, match="executor"):
+            PipelineConfig(executor="bogus")

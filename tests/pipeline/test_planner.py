@@ -1,0 +1,115 @@
+"""Property tests for the shape-bucketing planner.
+
+The contract pinned here is the one fused execution leans on: planning is a
+pure function of the corpus *as a set* — permuting the input changes only
+the recorded corpus positions, never which tables share a bucket or the
+order buckets (and tables within them) come out in.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.pipeline.planner import (
+    iter_bucket_chunks,
+    plan_buckets,
+    table_signature,
+)
+from repro.tables.model import Table
+
+
+def make_table(index: int, n_rows: int, n_columns: int, numeric_mask) -> Table:
+    cells = [
+        [
+            str(100 + row * n_columns + column)
+            if numeric_mask[column]
+            else f"cell {index} {row} {column}"
+            for column in range(n_columns)
+        ]
+        for row in range(n_rows)
+    ]
+    return Table(table_id=f"table-{index:04d}", cells=cells)
+
+
+table_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),  # rows
+        st.integers(min_value=1, max_value=3),  # columns
+        st.lists(st.booleans(), min_size=3, max_size=3),  # numeric mask
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def corpus_from_specs(specs) -> list[Table]:
+    return [
+        make_table(index, rows, columns, mask)
+        for index, (rows, columns, mask) in enumerate(specs)
+    ]
+
+
+class TestSignature:
+    def test_rows_columns_and_numeric_mask(self):
+        table = Table(
+            table_id="t",
+            cells=[["alpha", "12"], ["beta", "3.5"], ["gamma", ""]],
+        )
+        assert table_signature(table) == (3, 2, (False, True))
+
+    def test_blank_cells_do_not_break_numeric_columns(self):
+        table = Table(table_id="t", cells=[[""], ["7"]])
+        assert table_signature(table) == (2, 1, (True,))
+
+
+class TestPlanBuckets:
+    @given(specs=table_specs, seed=st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_plan_invariant_under_permutation(self, specs, seed):
+        corpus = corpus_from_specs(specs)
+        shuffled = list(corpus)
+        seed.shuffle(shuffled)
+
+        plan = plan_buckets(corpus)
+        shuffled_plan = plan_buckets(shuffled)
+
+        # same buckets, same signature order, same table order within each
+        # bucket — only the recorded corpus positions may differ
+        assert [bucket.signature for bucket in plan] == [
+            bucket.signature for bucket in shuffled_plan
+        ]
+        for bucket, shuffled_bucket in zip(plan, shuffled_plan):
+            assert [table.table_id for _, table in bucket.entries] == [
+                table.table_id for _, table in shuffled_bucket.entries
+            ]
+
+    @given(specs=table_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_positions_restore_corpus_order(self, specs):
+        corpus = corpus_from_specs(specs)
+        plan = plan_buckets(corpus)
+        restored: list[Table | None] = [None] * len(corpus)
+        for bucket in plan:
+            for position, table in bucket.entries:
+                assert table_signature(table) == bucket.signature
+                restored[position] = table
+        assert restored == corpus
+
+    @given(specs=table_specs, chunk_size=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_chunks_cover_plan_in_order(self, specs, chunk_size):
+        corpus = corpus_from_specs(specs)
+        plan = plan_buckets(corpus)
+        chunks = list(iter_bucket_chunks(plan, chunk_size))
+        assert all(len(entries) <= chunk_size for _, entries in chunks)
+        flattened: dict[tuple, list] = {}
+        for signature, entries in chunks:
+            flattened.setdefault(signature, []).extend(entries)
+        assert flattened == {
+            bucket.signature: bucket.entries for bucket in plan
+        }
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            list(iter_bucket_chunks([], 0))
