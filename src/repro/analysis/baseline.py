@@ -1,0 +1,91 @@
+"""The committed findings baseline — a ratchet that only goes down.
+
+Pre-existing findings live in ``reprolint_baseline.json`` as a multiset of
+``(rule, path, context)`` keys — the *context* is the stripped source line,
+so the baseline survives line-number drift from unrelated edits.  The gate:
+
+* a finding whose key has spare capacity in the baseline is **old** (shown,
+  not fatal),
+* any finding beyond the baselined count for its key is **new** — CI fails,
+* a baseline entry no fresh finding matches is **stale** — the violation
+  was fixed, so the entry must be deleted (``--write-baseline`` does it);
+  the committed file always exactly matches a fresh run (pinned by
+  ``tests/analysis/test_baseline.py``), which is what makes the ratchet
+  monotone: entries leave when fixed and can never quietly return.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.registry import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "reprolint_baseline.json"
+
+BaselineKey = tuple[str, str, str]  # (rule, path, context)
+
+
+def load_baseline(path: Path) -> Counter[BaselineKey]:
+    """The committed multiset of findings (empty when no file exists)."""
+    if not path.is_file():
+        return Counter()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {version!r} is not "
+            f"{BASELINE_VERSION}; regenerate with --write-baseline"
+        )
+    baseline: Counter[BaselineKey] = Counter()
+    for entry in document.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["context"])
+        baseline[key] = int(entry.get("count", 1))
+    return baseline
+
+
+def baseline_document(findings: Iterable[Finding]) -> dict:
+    """The serialized form of a findings multiset (deterministic order)."""
+    counts: Counter[BaselineKey] = Counter(
+        finding.key() for finding in findings
+    )
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": path, "context": context, "count": count}
+            for (rule, path, context), count in sorted(counts.items())
+        ],
+    }
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    path.write_text(
+        json.dumps(baseline_document(findings), indent=1) + "\n",
+        encoding="utf-8",
+    )
+
+
+def split_findings(
+    findings: list[Finding], baseline: Counter[BaselineKey]
+) -> tuple[list[Finding], list[Finding], Counter[BaselineKey]]:
+    """``(old, new, stale)`` relative to the baseline.
+
+    Findings sharing a key consume baseline capacity in source order; the
+    overflow is new.  ``stale`` is the baseline capacity nothing consumed —
+    fixed violations whose entries must now leave the committed file.
+    """
+    remaining = Counter(baseline)
+    old: list[Finding] = []
+    new: list[Finding] = []
+    for finding in sorted(findings):
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    stale = Counter({key: count for key, count in remaining.items() if count > 0})
+    return old, new, stale

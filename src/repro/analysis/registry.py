@@ -1,0 +1,110 @@
+"""The pluggable rule registry and the :class:`Finding` record.
+
+A rule is a class with ``rule_id`` / ``severity`` / ``description`` class
+attributes, an ``applies_to(rel_path)`` scope filter and a
+``check(module)`` generator over :class:`Finding`.  Registration is a
+decorator, so adding a rule family is one module with ``@register`` classes
+plus an import in :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Protocol, Type
+
+from repro.analysis.walker import ParsedModule
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rel_path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    #: the stripped source line — the baseline matches on this, not the line
+    #: number, so unrelated edits above a finding don't churn the baseline
+    context: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        """The baseline identity: stable under line-number drift."""
+        return (self.rule_id, self.rel_path, self.context)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.rel_path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    def with_context(self, module: ParsedModule) -> "Finding":
+        if self.context:
+            return self
+        return replace(self, context=module.line_text(self.line))
+
+
+class Rule(Protocol):
+    """What every rule class provides (see module docstring)."""
+
+    rule_id: str
+    severity: str
+    description: str
+
+    def applies_to(self, rel_path: str) -> bool: ...
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]: ...
+
+
+_REGISTRY: dict[str, Type] = {}
+
+#: runner-emitted meta rules: not in the registry, but valid suppression /
+#: baseline targets and listed in the rule table
+META_RULES: dict[str, tuple[str, str]] = {
+    "bad-suppression": (
+        "error",
+        "a reprolint suppression must carry a justification after the "
+        "rule list: `# reprolint: ignore[rule-id]: why this is sound`",
+    ),
+    "unused-suppression": (
+        "warning",
+        "a reprolint suppression that no finding matched — delete it "
+        "(the violation it excused is gone)",
+    ),
+}
+
+
+def register(cls: Type) -> Type:
+    rule_id = cls.rule_id
+    if rule_id in _REGISTRY or rule_id in META_RULES:
+        raise ValueError(f"duplicate rule id: {rule_id}")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"{rule_id}: invalid severity {cls.severity!r}")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in stable rule-id order."""
+    # importing the rule modules populates the registry
+    from repro.analysis.rules import (  # noqa: F401
+        determinism,
+        locks,
+        numpy_contracts,
+        wire_schema,
+    )
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def known_rule_ids() -> set[str]:
+    all_rules()
+    return set(_REGISTRY) | set(META_RULES)

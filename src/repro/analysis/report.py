@@ -1,0 +1,90 @@
+"""Human and machine-readable rendering of one lint run."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.analysis.registry import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import LintResult
+
+
+def _format_finding(finding: Finding, marker: str = "") -> str:
+    location = f"{finding.rel_path}:{finding.line}:{finding.col + 1}"
+    tag = f" {marker}" if marker else ""
+    return (
+        f"{location}: {finding.severity}[{finding.rule_id}]{tag} "
+        f"{finding.message}"
+    )
+
+
+def render_text(result: "LintResult") -> str:
+    """The terminal report: new findings loudly, baselined ones quietly."""
+    lines: list[str] = []
+    for finding in result.new_findings:
+        lines.append(_format_finding(finding, marker="(new)"))
+    for finding in result.old_findings:
+        lines.append(_format_finding(finding, marker="(baselined)"))
+    if result.stale_baseline:
+        lines.append("")
+        lines.append(
+            f"{sum(result.stale_baseline.values())} stale baseline "
+            f"entr{'y' if sum(result.stale_baseline.values()) == 1 else 'ies'} "
+            f"(fixed findings still listed in the baseline — run "
+            f"`repro lint --write-baseline` to ratchet down):"
+        )
+        for (rule, path, context), count in sorted(result.stale_baseline.items()):
+            lines.append(f"  {path} [{rule}] x{count}: {context}")
+    lines.append("")
+    by_rule = Counter(finding.rule_id for finding in result.findings)
+    summary = ", ".join(
+        f"{rule}={count}" for rule, count in sorted(by_rule.items())
+    )
+    lines.append(
+        f"reprolint: {len(result.findings)} finding(s) "
+        f"({len(result.new_findings)} new, {len(result.old_findings)} "
+        f"baselined, {result.suppressed_count} suppressed) across "
+        f"{result.n_files} files in {result.seconds:.2f}s"
+        + (f"  [{summary}]" if summary else "")
+    )
+    if result.new_findings:
+        lines.append(
+            "reprolint: FAIL — new findings above the committed baseline"
+        )
+    elif result.stale_baseline:
+        lines.append(
+            "reprolint: FAIL — baseline is stale; ratchet it down"
+        )
+    else:
+        lines.append("reprolint: OK")
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """Machine-readable report (the CI artifact)."""
+    document = {
+        "version": 1,
+        "n_files": result.n_files,
+        "seconds": round(result.seconds, 3),
+        "counts": {
+            "total": len(result.findings),
+            "new": len(result.new_findings),
+            "baselined": len(result.old_findings),
+            "suppressed": result.suppressed_count,
+            "stale_baseline": sum(result.stale_baseline.values()),
+        },
+        "findings": [finding.to_json() for finding in result.findings],
+        "new_findings": [
+            finding.to_json() for finding in result.new_findings
+        ],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "context": context, "count": count}
+            for (rule, path, context), count in sorted(
+                result.stale_baseline.items()
+            )
+        ],
+    }
+    return json.dumps(document, indent=1)

@@ -1,0 +1,1 @@
+"""Rule families: determinism, lock discipline, numpy contracts, wire schema."""

@@ -1,0 +1,284 @@
+"""Determinism rules.
+
+The whole reproduction is built on "same input, same bytes out" — the
+engines are proven equivalent by byte-comparison, bundle caches are
+content-addressed, and the planner must produce the same plan for the same
+corpus on every run.  Three ways that property silently dies:
+
+* an **unseeded random source** (module-level ``random.*`` or legacy
+  ``np.random.*``) varies per process,
+* **wall clock** (``time.time`` / ``datetime.now``) flowing into a cache
+  key, signature or fingerprint makes content-addressing meaningless,
+* **unordered iteration** in the planning / fused hot paths makes bucket
+  and block construction depend on insertion history rather than content.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.registry import Finding, register
+from repro.analysis.walker import ParsedModule
+
+#: module-level ``random`` functions that read the shared, unseeded state
+_UNSEEDED_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+    }
+)
+
+#: legacy numpy global-state RNG entry points
+_NP_RANDOM_FNS = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+    }
+)
+
+#: wall-clock reading calls: (module-ish value name, attribute)
+_WALL_CLOCK = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+    }
+)
+
+#: a function or call whose name matches this builds an identity that must
+#: be a pure function of content
+_KEYISH = re.compile(r"key|signature|fingerprint|cache", re.IGNORECASE)
+_KEYISH_CALL = re.compile(r"key|signature|fingerprint|hash", re.IGNORECASE)
+
+#: the hot planning / fused-execution modules held to content-ordering
+_ORDER_SENSITIVE_MODULES = (
+    "src/repro/pipeline/planner.py",
+    "src/repro/core/fused.py",
+    "src/repro/graph/fused.py",
+)
+
+
+def _call_name(node: ast.Call) -> str:
+    """The rightmost name of a call target (``a.b.c()`` -> ``c``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+@register
+class UnseededRandomRule:
+    rule_id = "det-unseeded-random"
+    severity = "error"
+    description = (
+        "module-level random.* / legacy np.random.* reads shared unseeded "
+        "state; thread a random.Random(seed) / np.random.default_rng(seed) "
+        "through instead"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.startswith("src/repro/")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            # random.<fn>(...) on the module itself
+            if isinstance(value, ast.Name) and value.id == "random":
+                if func.attr in _UNSEEDED_RANDOM_FNS:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"random.{func.attr}() uses the shared unseeded "
+                        f"global RNG",
+                    )
+                elif func.attr == "Random" and not node.args:
+                    yield self._finding(
+                        module,
+                        node,
+                        "random.Random() without a seed is "
+                        "OS-entropy-seeded; pass an explicit seed",
+                    )
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ("np", "numpy")
+            ):
+                if func.attr in _NP_RANDOM_FNS:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"np.random.{func.attr}() uses numpy's global RNG "
+                        f"state",
+                    )
+                elif func.attr == "default_rng" and not node.args:
+                    yield self._finding(
+                        module,
+                        node,
+                        "np.random.default_rng() without a seed is "
+                        "OS-entropy-seeded; pass an explicit seed",
+                    )
+
+    def _finding(
+        self, module: ParsedModule, node: ast.AST, detail: str
+    ) -> Finding:
+        return Finding(
+            rel_path=module.rel_path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=f"{detail} — annotation output must be seed-deterministic",
+        ).with_context(module)
+
+
+@register
+class WallClockKeyRule:
+    rule_id = "det-wallclock-key"
+    severity = "error"
+    description = (
+        "wall clock (time.time / datetime.now) flowing into a cache key, "
+        "signature or fingerprint breaks content addressing"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.startswith("src/repro/")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or not isinstance(
+                func.value, ast.Name
+            ):
+                continue
+            if (func.value.id, func.attr) not in _WALL_CLOCK:
+                continue
+            sink = self._keyish_sink(module, node)
+            if sink is None:
+                continue
+            yield Finding(
+                rel_path=module.rel_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"{func.value.id}.{func.attr}() flows into {sink} — "
+                    f"keys/signatures must be pure functions of content, "
+                    f"never of the clock"
+                ),
+            ).with_context(module)
+
+    def _keyish_sink(
+        self, module: ParsedModule, node: ast.Call
+    ) -> str | None:
+        """Where this clock read lands, if that place builds an identity."""
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.Call) and ancestor is not node:
+                name = _call_name(ancestor)
+                if name and _KEYISH_CALL.search(name):
+                    return f"a call to {name}()"
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _KEYISH.search(ancestor.name):
+                    return f"function {ancestor.name}()"
+                return None  # an ordinary function: clock reads are fine
+        return None
+
+
+@register
+class UnorderedIterationRule:
+    rule_id = "det-unordered-iter"
+    severity = "warning"
+    description = (
+        "iteration over dict views / sets in a planning or fused hot path "
+        "follows insertion (or hash) order, not content order; wrap in "
+        "sorted() or justify why the build order is itself deterministic"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path in _ORDER_SENSITIVE_MODULES
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        iters: list[ast.expr] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, ast.comprehension):
+                iters.append(node.iter)
+        for expr in iters:
+            detail = self._unordered_detail(expr)
+            if detail is None:
+                continue
+            yield Finding(
+                rel_path=module.rel_path,
+                line=expr.lineno,
+                col=expr.col_offset,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"iterating {detail} in a hot planning path — order "
+                    f"here must be a function of content (sorted), not of "
+                    f"build history"
+                ),
+            ).with_context(module)
+
+    def _unordered_detail(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr)
+            if name == "sorted":
+                return None
+            if isinstance(expr.func, ast.Attribute) and expr.func.attr in (
+                "items",
+                "keys",
+                "values",
+            ):
+                return f"a dict .{expr.func.attr}() view"
+            if isinstance(expr.func, ast.Name) and expr.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return f"a {expr.func.id}()"
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set expression"
+        return None

@@ -1,0 +1,236 @@
+"""Lock discipline: guarded attributes stay guarded.
+
+For every class that owns a ``threading.Lock`` / ``RLock`` attribute, the
+rule *infers* the guarded state — the set of ``self.<attr>`` names written
+inside any ``with self.<lock>:`` block outside ``__init__`` — and then
+flags every read or write of a guarded attribute that happens outside every
+lock context.  ``__init__`` is construction time (the object is not shared
+yet) and is exempt on both sides of the inference.
+
+This is deliberately conservative in both directions: attributes only ever
+written under a lock are assumed to *need* the lock everywhere, and an
+access is "guarded" if it sits under a ``with`` on *any* of the class's
+locks (the per-lock attribution of a class with several mutexes is the
+author's job, not inferrable).  Sound lock-free fast paths (double-checked
+lazy init, atomic snapshot reads) are exactly what justified suppressions
+are for — the justification documents the memory-model argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.registry import Finding, register
+from repro.analysis.walker import ParsedModule
+
+#: method calls on ``self.<attr>`` that mutate the attribute's value
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "setdefault",
+        "move_to_end",
+        "appendleft",
+        "popleft",
+        "fill",
+    }
+)
+
+_LOCK_TYPES = frozenset({"Lock", "RLock"})
+
+
+def _is_lock_constructor(node: ast.expr) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` / bare ``Lock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+            and func.attr in _LOCK_TYPES
+        )
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_TYPES
+    return False
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for statement in cls.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield statement  # type: ignore[misc]
+
+
+def _written_attrs(node: ast.AST) -> Iterator[tuple[str, ast.AST]]:
+    """``self.<attr>`` names mutated anywhere under ``node``."""
+    for child in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        for target in targets:
+            for leaf in _unpack_targets(target):
+                attr = _self_attr(leaf)
+                if attr is None and isinstance(leaf, ast.Subscript):
+                    attr = _self_attr(leaf.value)
+                if attr is not None:
+                    yield attr, child
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in _MUTATING_METHODS
+        ):
+            attr = _self_attr(child.func.value)
+            if attr is not None:
+                yield attr, child
+
+
+def _unpack_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _unpack_targets(element)
+    else:
+        yield target
+
+
+@register
+class LockDisciplineRule:
+    rule_id = "lock-unguarded-attr"
+    severity = "error"
+    description = (
+        "attribute written under `with self.<lock>:` elsewhere in the "
+        "class is accessed outside every lock context; take the lock, or "
+        "suppress with the memory-model justification"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.startswith("src/repro/")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_attrs = self._lock_attrs(cls)
+        if not lock_attrs:
+            return
+        guarded = self._guarded_attrs(cls, lock_attrs)
+        if not guarded:
+            return
+        for method in _methods(cls):
+            if method.name == "__init__":
+                continue
+            yield from self._check_method(
+                module, cls, method, lock_attrs, guarded
+            )
+
+    def _lock_attrs(self, cls: ast.ClassDef) -> frozenset[str]:
+        """``self.<name> = threading.Lock()`` assignments, class-wide."""
+        names: set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and _is_lock_constructor(
+                node.value
+            ):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        names.add(attr)
+        return frozenset(names)
+
+    def _guarded_attrs(
+        self, cls: ast.ClassDef, lock_attrs: frozenset[str]
+    ) -> frozenset[str]:
+        """Attributes written under any ``with self.<lock>:`` block."""
+        guarded: set[str] = set()
+        for method in _methods(cls):
+            if method.name == "__init__":
+                continue
+            for node in ast.walk(method):
+                if not self._is_lock_with(node, lock_attrs):
+                    continue
+                assert isinstance(node, ast.With)
+                for statement in node.body:
+                    for attr, _site in _written_attrs(statement):
+                        guarded.add(attr)
+        return frozenset(guarded - lock_attrs)
+
+    def _is_lock_with(
+        self, node: ast.AST, lock_attrs: frozenset[str]
+    ) -> bool:
+        if not isinstance(node, ast.With):
+            return False
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in lock_attrs:
+                return True
+        return False
+
+    def _check_method(
+        self,
+        module: ParsedModule,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef,
+        lock_attrs: frozenset[str],
+        guarded: frozenset[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            attr = _self_attr(node) if isinstance(node, ast.Attribute) else None
+            if attr is None or attr not in guarded:
+                continue
+            if self._under_lock(module, node, lock_attrs):
+                continue
+            access = (
+                "written" if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "read"
+            )
+            yield Finding(
+                rel_path=module.rel_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"{cls.name}.{attr} is {access} outside any lock "
+                    f"context, but it is written under "
+                    f"`with self.<lock>:` elsewhere in the class "
+                    f"(locks: {', '.join(sorted(lock_attrs))})"
+                ),
+            ).with_context(module)
+
+    def _under_lock(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        lock_attrs: frozenset[str],
+    ) -> bool:
+        for ancestor in module.ancestors(node):
+            if self._is_lock_with(ancestor, lock_attrs):
+                return True
+            if isinstance(ancestor, ast.ClassDef):
+                break
+        return False

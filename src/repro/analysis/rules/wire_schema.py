@@ -1,0 +1,132 @@
+"""Wire-schema strictness: every field round-trips.
+
+The API layer's contract is ``T.from_json(T.to_json(x)) == x`` for every
+wire type.  The hypothesis round-trip tests catch a *value* that fails to
+survive, but a field that is silently dropped by **both** sides — or added
+to the dataclass and wired into only one side — round-trips vacuously and
+ships a wire hole.  This rule closes it structurally: for every
+``@dataclass`` that defines both ``to_json`` and ``from_json``, each
+declared field name must appear in each method body (as ``self.<field>``,
+a ``"<field>"`` string key, or a ``<field>=`` keyword).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.registry import Finding, register
+from repro.analysis.walker import ParsedModule
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+    return False
+
+
+def _is_dynamic(body: list[ast.stmt]) -> bool:
+    """True when the method en/decodes fields dynamically.
+
+    A body that iterates ``dataclasses.fields(...)`` / calls ``asdict`` or
+    constructs via ``cls(**kwargs)`` is field-complete by construction —
+    every declared field flows through without its name appearing.
+    """
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Call):
+                target = node.func
+                name = (
+                    target.attr
+                    if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name) else ""
+                )
+                if name in ("fields", "asdict", "astuple"):
+                    return True
+                if any(keyword.arg is None for keyword in node.keywords):
+                    return True  # f(**kwargs): all fields pass through
+    return False
+
+
+def _names_in(body: list[ast.stmt]) -> set[str]:
+    """Every identifier a field could surface as inside a method body."""
+    seen: set[str] = set()
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Attribute):
+                seen.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                seen.add(node.value)
+            elif isinstance(node, ast.keyword) and node.arg is not None:
+                seen.add(node.arg)
+            elif isinstance(node, ast.Name):
+                seen.add(node.id)
+    return seen
+
+
+@register
+class WireRoundTripRule:
+    rule_id = "wire-roundtrip-field"
+    severity = "error"
+    description = (
+        "a dataclass field of a wire type (a @dataclass defining both "
+        "to_json and from_json) must appear in both method bodies, or the "
+        "field silently falls out of the wire contract"
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.startswith("src/repro/")
+
+    def check(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = {
+            statement.name: statement
+            for statement in cls.body
+            if isinstance(statement, ast.FunctionDef)
+        }
+        to_json = methods.get("to_json")
+        from_json = methods.get("from_json")
+        if to_json is None or from_json is None:
+            return
+        encoded = None if _is_dynamic(to_json.body) else _names_in(to_json.body)
+        decoded = (
+            None if _is_dynamic(from_json.body) else _names_in(from_json.body)
+        )
+        if encoded is None and decoded is None:
+            return
+        for statement in cls.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            target = statement.target
+            if not isinstance(target, ast.Name) or target.id.startswith("_"):
+                continue
+            field_name = target.id
+            missing = [
+                side
+                for side, seen in (("to_json", encoded), ("from_json", decoded))
+                if seen is not None and field_name not in seen
+            ]
+            if not missing:
+                continue
+            yield Finding(
+                rel_path=module.rel_path,
+                line=statement.lineno,
+                col=statement.col_offset,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"{cls.name}.{field_name} never appears in "
+                    f"{' or '.join(missing)} — the field is outside the "
+                    f"wire round-trip contract"
+                ),
+            ).with_context(module)

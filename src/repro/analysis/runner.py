@@ -1,0 +1,251 @@
+"""Orchestration: walk the tree, run every rule, apply suppressions,
+diff against the baseline, render.  ``repro lint`` and
+``python -m repro.analysis`` both land here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineKey,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.analysis.registry import META_RULES, Finding, all_rules
+from repro.analysis.walker import ParsedModule, Suppression, parse_tree
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    old_findings: list[Finding] = field(default_factory=list)
+    new_findings: list[Finding] = field(default_factory=list)
+    stale_baseline: Counter[BaselineKey] = field(default_factory=Counter)
+    suppressed: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    seconds: float = 0.0
+
+    @property
+    def suppressed_count(self) -> int:
+        return len(self.suppressed)
+
+    @property
+    def ok(self) -> bool:
+        """Gate: no findings beyond the baseline, and no stale baseline."""
+        return not self.new_findings and not self.stale_baseline
+
+
+def _apply_suppressions(
+    module: ParsedModule, findings: list[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """``(kept, suppressed)`` after matching inline ignores by line+rule."""
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        matched: Suppression | None = None
+        for suppression in module.suppressions_for(finding.line):
+            if finding.rule_id in suppression.rule_ids:
+                matched = suppression
+                break
+        if matched is None:
+            kept.append(finding)
+        else:
+            matched.used = True
+            suppressed.append(finding)
+    return kept, suppressed
+
+
+def _meta_findings(module: ParsedModule) -> list[Finding]:
+    """Suppression hygiene: justifications are mandatory, dead ignores go."""
+    findings: list[Finding] = []
+    for suppression in module.suppressions:
+        if not suppression.justified:
+            severity, _ = META_RULES["bad-suppression"]
+            findings.append(
+                Finding(
+                    rel_path=module.rel_path,
+                    line=suppression.line,
+                    col=0,
+                    rule_id="bad-suppression",
+                    severity=severity,
+                    message=(
+                        "suppression without a justification — write "
+                        "`# reprolint: ignore["
+                        + ", ".join(suppression.rule_ids)
+                        + "]: <why this is sound>`"
+                    ),
+                ).with_context(module)
+            )
+        if not suppression.used:
+            severity, _ = META_RULES["unused-suppression"]
+            findings.append(
+                Finding(
+                    rel_path=module.rel_path,
+                    line=suppression.line,
+                    col=0,
+                    rule_id="unused-suppression",
+                    severity=severity,
+                    message=(
+                        f"no {', '.join(suppression.rule_ids)} finding on "
+                        f"line {suppression.applies_to} — delete the stale "
+                        f"suppression"
+                    ),
+                ).with_context(module)
+            )
+    return findings
+
+
+def run_lint(
+    root: Path,
+    paths: list[Path] | None = None,
+) -> LintResult:
+    """Run every registered rule over the tree rooted at ``root``."""
+    start = time.perf_counter()
+    result = LintResult()
+    modules, failures = parse_tree(root, paths)
+    result.n_files = len(modules)
+    rules = all_rules()
+    for path, error in failures:
+        rel = path.relative_to(root).as_posix() if path.is_relative_to(root) else str(path)
+        result.findings.append(
+            Finding(
+                rel_path=rel,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule_id="syntax-error",
+                severity="error",
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+    for module in modules:
+        module_findings: list[Finding] = []
+        for rule in rules:
+            if not rule.applies_to(module.rel_path):
+                continue
+            module_findings.extend(rule.check(module))
+        kept, suppressed = _apply_suppressions(module, module_findings)
+        result.suppressed.extend(suppressed)
+        kept.extend(_meta_findings(module))
+        result.findings.extend(kept)
+    result.findings.sort()
+    result.seconds = time.perf_counter() - start
+    return result
+
+
+def lint_with_baseline(
+    root: Path,
+    paths: list[Path] | None = None,
+    baseline_path: Path | None = None,
+) -> LintResult:
+    """:func:`run_lint` plus the baseline diff (the ratchet)."""
+    result = run_lint(root, paths)
+    if baseline_path is None:
+        baseline_path = root / DEFAULT_BASELINE_NAME
+    baseline = load_baseline(baseline_path)
+    if paths:
+        # a partial run cannot judge staleness of entries for unseen files
+        scanned = {finding.rel_path for finding in result.findings}
+        baseline = Counter(
+            {key: count for key, count in baseline.items() if key[1] in scanned}
+        )
+        old, new, _stale = split_findings(result.findings, baseline)
+        stale: Counter[BaselineKey] = Counter()
+    else:
+        old, new, stale = split_findings(result.findings, baseline)
+    result.old_findings = old
+    result.new_findings = new
+    result.stale_baseline = stale
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "project-specific static analysis: determinism, lock "
+            "discipline, numpy contracts, wire-schema strictness"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/ and tests/)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact shape)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings as the new baseline and exit 0 "
+        "(the ratchet: run after fixing findings, review the shrink)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        from repro.analysis.registry import META_RULES, all_rules
+
+        for rule in all_rules():
+            print(f"{rule.rule_id}  [{rule.severity}]")
+            print(f"    {rule.description}")
+        for rule_id, (severity, description) in sorted(META_RULES.items()):
+            print(f"{rule_id}  [{severity}]")
+            print(f"    {description}")
+        return 0
+
+    root = args.root.resolve()
+    baseline_path = (
+        args.baseline if args.baseline is not None
+        else root / DEFAULT_BASELINE_NAME
+    )
+    paths = [path.resolve() for path in args.paths] or None
+
+    if args.write_baseline:
+        result = run_lint(root, paths)
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(result.findings)} finding(s))",
+            file=sys.stderr,
+        )
+        return 0
+
+    result = lint_with_baseline(root, paths, baseline_path)
+    from repro.analysis.report import render_json, render_text
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1

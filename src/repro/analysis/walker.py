@@ -1,0 +1,200 @@
+"""Source discovery, parsing and suppression extraction.
+
+One :class:`ParsedModule` per file: the AST (with a parent map, so rules can
+ask "am I inside a ``with self._lock:`` block?"), the raw source lines (for
+finding context), and every ``# reprolint: ignore[...]`` suppression found
+by the tokenizer.  Parsing happens once; every rule walks the same tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+# matches a suppression comment: hash, "reprolint:", then "ignore" with a
+# bracketed rule list and a ":"-introduced justification
+_SUPPRESSION = re.compile(
+    r"#\s*reprolint:\s*ignore\[(?P<rules>[a-z0-9_,\s-]*)\]"
+    r"\s*(?::\s*(?P<why>.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One inline ``reprolint: ignore`` comment."""
+
+    line: int
+    #: the line the suppression applies to (the next code line when the
+    #: comment stands alone on its own line)
+    applies_to: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    used: bool = False
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The chain of enclosing nodes, innermost first."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def suppressions_for(self, line: int) -> list[Suppression]:
+        return [s for s in self.suppressions if s.applies_to == line]
+
+
+def _extract_suppressions(source: str) -> list[Suppression]:
+    """Every ``reprolint: ignore`` comment, with the line it applies to.
+
+    A trailing comment applies to its own line; a comment alone on a line
+    applies to the next line that carries code (so a suppression can sit
+    above a long statement).
+    """
+    suppressions: list[Suppression] = []
+    standalone: list[tuple[int, re.Match[str]]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+        return suppressions
+
+    code_lines: set[int] = set()
+    comments: list[tuple[int, int, str]] = []  # (line, col, text)
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            comments.append((token.start[0], token.start[1], token.string))
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            code_lines.add(token.start[0])
+
+    for line, col, text in comments:
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        if col > 0 and line in code_lines:
+            rule_ids = _parse_rule_ids(match)
+            suppressions.append(
+                Suppression(
+                    line=line,
+                    applies_to=line,
+                    rule_ids=rule_ids,
+                    justification=(match.group("why") or ""),
+                )
+            )
+        else:
+            standalone.append((line, match))
+
+    sorted_code_lines = sorted(code_lines)
+    for line, match in standalone:
+        applies_to = next(
+            (code for code in sorted_code_lines if code > line), line
+        )
+        suppressions.append(
+            Suppression(
+                line=line,
+                applies_to=applies_to,
+                rule_ids=_parse_rule_ids(match),
+                justification=(match.group("why") or ""),
+            )
+        )
+    suppressions.sort(key=lambda s: s.line)
+    return suppressions
+
+
+def _parse_rule_ids(match: re.Match[str]) -> tuple[str, ...]:
+    return tuple(
+        rule_id.strip()
+        for rule_id in match.group("rules").split(",")
+        if rule_id.strip()
+    )
+
+
+def parse_module(path: Path, root: Path) -> ParsedModule:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    module = ParsedModule(
+        path=path,
+        rel_path=path.relative_to(root).as_posix(),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=_extract_suppressions(source),
+    )
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            module._parents[child] = parent
+    return module
+
+
+def discover_files(root: Path, paths: list[Path] | None = None) -> list[Path]:
+    """Every ``.py`` file under ``src/`` and ``tests/`` (or explicit paths)."""
+    if paths:
+        files: list[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        return sorted(set(files))
+    files = []
+    for tree_name in ("src", "tests"):
+        tree = root / tree_name
+        if tree.is_dir():
+            files.extend(tree.rglob("*.py"))
+    return sorted(files)
+
+
+def parse_tree(
+    root: Path, paths: list[Path] | None = None
+) -> tuple[list[ParsedModule], list[tuple[Path, SyntaxError]]]:
+    """Parse the whole tree; syntax failures are reported, not raised."""
+    modules: list[ParsedModule] = []
+    failures: list[tuple[Path, SyntaxError]] = []
+    for path in discover_files(root, paths):
+        try:
+            modules.append(parse_module(path, root))
+        except SyntaxError as error:
+            failures.append((path, error))
+    return modules, failures

@@ -198,6 +198,9 @@ class ReproSession:
             else self.config.candidate_engine
         )
         key = (engine, candidate_engine)
+        # reprolint: ignore[lock-unguarded-attr]: double-checked fast path —
+        # _pipelines only ever gains entries (under _pipeline_lock), and a
+        # stale miss just falls through to the locked slow path below
         pipeline = self._pipelines.get(key)
         if pipeline is not None:
             return pipeline
@@ -215,11 +218,12 @@ class ReproSession:
                 self._pipelines[key] = pipeline
             return pipeline
 
-    def _shared_generator(self) -> CandidateGenerator:
+    def _shared_generator_locked(self) -> CandidateGenerator:
         """The one scalar generator every pipeline shares.
 
-        Built at most once: ``__init__`` warms the default pipeline, so the
-        generator exists before any concurrent caller can reach this.
+        Caller holds ``_state_lock``: construction (a catalog scan plus a
+        frozen lemma index) must happen exactly once however many pipelines
+        race to be first.
         """
         if self._generator is None:
             self._generator = self._make_generator()
@@ -231,19 +235,26 @@ class ReproSession:
         The batched engine's interned tables are built (or restored from the
         bundle's ``candidates/`` arrays) once and shared by every batched
         pipeline, exactly as the frozen lemma index is shared by all.
+        Construction runs under ``_state_lock``: ``pipeline()`` reaches here
+        holding ``_pipeline_lock``, but :meth:`train` calls in bare, and two
+        racing builders would each pay the expensive interning scan.
         """
-        if candidate_engine != "batched":
-            return self._shared_generator()
-        if self._batched_engine is None:
-            tables = None
-            if self.bundle is not None and self.bundle.candidate_state is not None:
-                tables = InternedCandidateTables.from_state(
-                    self.bundle.candidate_state
+        with self._state_lock:
+            if candidate_engine != "batched":
+                return self._shared_generator_locked()
+            if self._batched_engine is None:
+                tables = None
+                if (
+                    self.bundle is not None
+                    and self.bundle.candidate_state is not None
+                ):
+                    tables = InternedCandidateTables.from_state(
+                        self.bundle.candidate_state
+                    )
+                self._batched_engine = BatchedCandidateEngine(
+                    self._shared_generator_locked(), tables=tables
                 )
-            self._batched_engine = BatchedCandidateEngine(
-                self._shared_generator(), tables=tables
-            )
-        return self._batched_engine
+            return self._batched_engine
 
     def _pipeline_name(self, key: tuple[str, str]) -> str:
         """Public name of one warm pipeline.
@@ -361,6 +372,9 @@ class ReproSession:
     @property
     def index(self) -> AnnotatedTableIndex | None:
         """The annotated table index, if one exists yet."""
+        # reprolint: ignore[lock-unguarded-attr]: single atomic reference
+        # read; _index moves monotonically None -> frozen index and is never
+        # mutated in place, so any snapshot the caller sees is consistent
         return self._index
 
     def index_corpus(
@@ -389,6 +403,9 @@ class ReproSession:
         return index
 
     def _require_index(self) -> AnnotatedTableIndex:
+        # reprolint: ignore[lock-unguarded-attr]: single atomic reference
+        # read of a monotone None -> frozen-index attribute; callers either
+        # hold _state_lock already or only need *a* consistent snapshot
         index = self._index
         if index is None:
             raise ApiError(
@@ -403,6 +420,9 @@ class ReproSession:
         # slow path reads the index and builds the searchers inside one
         # critical section, so a concurrent index_corpus() can never leave
         # searchers cached over a replaced index
+        # reprolint: ignore[lock-unguarded-attr]: double-checked fast path;
+        # the dict is built fully before the single reference publish under
+        # _state_lock, and a stale None just takes the locked slow path
         searchers = self._searchers
         if searchers is not None:
             return searchers[use_relations]
@@ -423,6 +443,9 @@ class ReproSession:
             return self._searchers[use_relations]
 
     def _join(self) -> JoinSearcher:
+        # reprolint: ignore[lock-unguarded-attr]: double-checked fast path;
+        # the searcher is fully constructed before its reference is
+        # published under _state_lock, and a stale None re-checks locked
         searcher = self._join_searcher
         if searcher is not None:
             return searcher
@@ -561,6 +584,9 @@ class ReproSession:
             "default_fusion": self.config.fusion,
             "default_executor": self.config.executor,
             "engines": sorted(self.pipelines()),
+            # reprolint: ignore[lock-unguarded-attr]: health-check snapshot;
+            # _index is monotone None -> frozen index (never reset to None),
+            # so the check-then-len pair cannot observe a vanishing index
             "tables": len(self._index) if self._index is not None else 0,
             "model_sha256": self.model.fingerprint(),
             "catalog": self.catalog.name,

@@ -390,7 +390,7 @@ class SyntheticCatalogGenerator:
         stems = list(names.CITY_STEMS)
         rng.shuffle(stems)
         city_index = 0
-        for country_index, country_id in enumerate(countries):
+        for country_index, _country_id in enumerate(countries):
             country_name = names.COUNTRIES[country_index][0]
             for _ in range(self.config.cities_per_country):
                 stem = stems[city_index % len(stems)]

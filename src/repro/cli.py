@@ -388,6 +388,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import main as lint_main
+
+    argv = [str(path) for path in args.paths]
+    if args.root is not None:
+        argv += ["--root", str(args.root)]
+    argv += ["--format", args.format]
+    if args.baseline is not None:
+        argv += ["--baseline", str(args.baseline)]
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -561,6 +577,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log each request to stderr"
     )
     serve.set_defaults(handler=cmd_serve)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project-specific static analyzer (reprolint)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ and tests/)",
+    )
+    lint.add_argument(
+        "--root", default=None, help="repository root (default: cwd)"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact shape)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, help="baseline file to ratchet against"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline (review the shrink)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 

@@ -144,7 +144,7 @@ class CatalogAugmenter:
                 ).append((annotation.table_id, confidence))
 
     def _mine_instance_links(self, annotation: TableAnnotation) -> None:
-        for (row, column), cell in annotation.cells.items():
+        for (_row, column), cell in annotation.cells.items():
             if cell.entity_id is None:
                 continue
             column_annotation = annotation.columns.get(column)

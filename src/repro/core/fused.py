@@ -282,7 +282,9 @@ def build_fused_bundle(
             var_table_ids.append(table_index)
             columns_meta.append((space.column, var_id, space.labels))
             for row, f3 in space.f3.items():
-                potential = np.zeros((len(space.labels), f3.shape[1] + 1))
+                potential = np.zeros(
+                    (len(space.labels), f3.shape[1] + 1), dtype=np.float64
+                )
                 potential[1:, 1:] = f3 @ model.w3
                 _stage_factor(
                     staged,
@@ -299,12 +301,14 @@ def build_fused_bundle(
                 var_id = len(sizes)
                 local_ids[space.variable_name] = var_id
                 sizes.append(len(space.labels))
-                unary_rows.append(np.zeros(len(space.labels)))
+                unary_rows.append(np.zeros(len(space.labels), dtype=np.float64))
                 var_table_ids.append(table_index)
                 pairs_meta.append((space.left, space.right, var_id, space.labels))
                 n_left = len(problem.columns[space.left].labels)
                 n_right = len(problem.columns[space.right].labels)
-                phi4 = np.zeros((len(space.labels), n_left, n_right))
+                phi4 = np.zeros(
+                    (len(space.labels), n_left, n_right), dtype=np.float64
+                )
                 phi4[1:, 1:, 1:] = space.f4 @ model.w4
                 _stage_factor(
                     staged,
@@ -321,7 +325,8 @@ def build_fused_bundle(
                 n_factors += 1
                 for row, f5 in space.f5.items():
                     phi5 = np.zeros(
-                        (len(space.labels), f5.shape[1] + 1, f5.shape[2] + 1)
+                        (len(space.labels), f5.shape[1] + 1, f5.shape[2] + 1),
+                        dtype=np.float64,
                     )
                     phi5[1:, 1:, 1:] = f5 @ model.w5
                     _stage_factor(
@@ -352,7 +357,7 @@ def build_fused_bundle(
 
     sizes_array = np.array(sizes, dtype=np.intp)
     max_size = int(sizes_array.max()) if sizes_array.size else 1
-    unaries = np.full((len(sizes), max_size), -np.inf)
+    unaries = np.full((len(sizes), max_size), -np.inf, dtype=np.float64)
     for index, row in enumerate(unary_rows):
         unaries[index, : len(row)] = row
 
@@ -456,7 +461,7 @@ def _append_fused_block(
     shape = tuple(
         max(row[1].shape[axis] for row in rows) for axis in range(ndim)
     )
-    tables = np.full((len(rows), *shape), -np.inf)
+    tables = np.full((len(rows), *shape), -np.inf, dtype=np.float64)
     for slot, (_, potential, _) in enumerate(rows):
         region = (slot,) + tuple(slice(0, n) for n in potential.shape)
         tables[region] = potential
@@ -537,8 +542,8 @@ def _decode_bundle(
             )
     else:
         choices = np.zeros(0, dtype=np.intp)
-        margins = np.zeros(0)
-        scores = np.zeros(graph.n_tables)
+        margins = np.zeros(0, dtype=np.float64)
+        scores = np.zeros(graph.n_tables, dtype=np.float64)
 
     annotations: list[TableAnnotation] = []
     for spec, table in zip(bundle.specs, tables):

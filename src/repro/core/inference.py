@@ -156,7 +156,7 @@ def run_scalar_paper_schedule(
 
     iterations = 0
     converged = False
-    for iterations in range(1, max_iterations + 1):
+    for iterations in range(1, max_iterations + 1):  # noqa: B007 - read after loop
         delta = 0.0
         # Block 1: entities <-> types through phi3.
         for factor_name, type_var, entity_var in phi3_edges:

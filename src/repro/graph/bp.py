@@ -53,8 +53,12 @@ class MaxProductBP:
         for factor in graph.factors.values():
             for variable_name in factor.variables:
                 size = graph.variables[variable_name].size
-                self._var_to_factor[(variable_name, factor.name)] = np.zeros(size)
-                self._factor_to_var[(factor.name, variable_name)] = np.zeros(size)
+                self._var_to_factor[(variable_name, factor.name)] = np.zeros(
+                    size, dtype=np.float64
+                )
+                self._factor_to_var[(factor.name, variable_name)] = np.zeros(
+                    size, dtype=np.float64
+                )
 
     # ------------------------------------------------------------------
     # message primitives
@@ -148,7 +152,7 @@ class MaxProductBP:
         """Synchronous flooding schedule until message convergence."""
         iterations = 0
         converged = False
-        for iterations in range(1, max_iterations + 1):
+        for iterations in range(1, max_iterations + 1):  # noqa: B007 - read after loop
             delta = 0.0
             for factor in self.graph.factors.values():
                 for variable_name in factor.variables:

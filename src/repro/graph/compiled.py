@@ -135,7 +135,9 @@ class CompiledFactorGraph:
             [graph.variables[name].size for name in self.var_names], dtype=np.intp
         )
         self.max_size = int(self.sizes.max()) if self.sizes.size else 1
-        self.unaries = np.full((len(self.var_names), self.max_size), -np.inf)
+        self.unaries = np.full(
+            (len(self.var_names), self.max_size), -np.inf, dtype=np.float64
+        )
         for index, name in enumerate(self.var_names):
             variable = graph.variables[name]
             self.unaries[index, : variable.size] = variable.unary
@@ -160,7 +162,7 @@ class CompiledFactorGraph:
                 else head_size
                 for axis in range(ndim)
             )
-            tables = np.full((len(factors), *shape), -np.inf)
+            tables = np.full((len(factors), *shape), -np.inf, dtype=np.float64)
             for slot, factor in enumerate(factors):
                 region = (slot,) + tuple(slice(0, n) for n in factor.table.shape)
                 tables[region] = factor.table
@@ -252,7 +254,10 @@ class BatchedMaxProductBP:
             for block in compiled.blocks
         ]
         self._factor_to_var: list[list[np.ndarray]] = [
-            [np.zeros((block.n_factors, size)) for size in block.shape]
+            [
+                np.zeros((block.n_factors, size), dtype=np.float64)
+                for size in block.shape
+            ]
             for block in compiled.blocks
         ]
         #: unary + all incoming factor→variable messages, maintained
@@ -387,7 +392,7 @@ class BatchedMaxProductBP:
         """
         iterations = 0
         converged = False
-        for iterations in range(1, max_iterations + 1):
+        for iterations in range(1, max_iterations + 1):  # noqa: B007 - read after loop
             delta = 0.0
             for kind, var_positions, factor_positions in PAPER_SCHEDULE:
                 for block_id in self.compiled.kind_blocks.get(kind, ()):
@@ -412,7 +417,7 @@ class BatchedMaxProductBP:
         iterations = 0
         converged = False
         all_positions = [range(block.n_positions) for block in self.compiled.blocks]
-        for iterations in range(1, max_iterations + 1):
+        for iterations in range(1, max_iterations + 1):  # noqa: B007 - read after loop
             delta = 0.0
             for block_id, positions in enumerate(all_positions):
                 delta = max(

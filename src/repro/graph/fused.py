@@ -63,7 +63,7 @@ def _borrow(role: str, shape: tuple[int, ...]) -> np.ndarray:
     count = math.prod(shape)
     buffer = buffers.get(role)
     if buffer is None or buffer.size < count:
-        buffers[role] = buffer = np.empty(count)
+        buffers[role] = buffer = np.empty(count, dtype=np.float64)
     return buffer[:count].reshape(shape)
 
 
@@ -162,12 +162,15 @@ class FusedMaxProductBP:
             for block in fused.blocks
         ]
         self._factor_to_var: list[list[np.ndarray]] = [
-            [np.zeros((block.n_factors, size)) for size in block.shape]
+            [
+                np.zeros((block.n_factors, size), dtype=np.float64)
+                for size in block.shape
+            ]
             for block in fused.blocks
         ]
         self._totals = fused.unaries.copy()
         self._active = np.ones(fused.n_tables, dtype=bool)
-        self._deltas = np.zeros(fused.n_tables)
+        self._deltas = np.zeros(fused.n_tables, dtype=np.float64)
         self._belief_matrix: np.ndarray | None = None
         # per-block row selections and compacted scatter plans are pure
         # functions of the frozen set, so they are cached between freezes

@@ -351,7 +351,9 @@ def read_manifest(path: str | Path) -> BundleManifest:
     try:
         payload = json.loads(manifest_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as error:
-        raise BundleError(f"unreadable bundle manifest {manifest_path}: {error}")
+        raise BundleError(
+            f"unreadable bundle manifest {manifest_path}: {error}"
+        ) from error
     manifest = BundleManifest.from_dict(payload)
     if manifest.format_version != FORMAT_VERSION:
         raise BundleVersionError(

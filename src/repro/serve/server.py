@@ -111,7 +111,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
-            raise BadRequestError("invalid Content-Length header")
+            raise BadRequestError("invalid Content-Length header") from None
         if length <= 0:
             raise BadRequestError("request body required (JSON)")
         if length > MAX_BODY_BYTES:
@@ -120,7 +120,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(raw)
         except json.JSONDecodeError as error:
-            raise BadRequestError(f"invalid JSON body: {error}")
+            raise BadRequestError(f"invalid JSON body: {error}") from error
         if not isinstance(payload, dict):
             raise BadRequestError("JSON body must be an object")
         return payload

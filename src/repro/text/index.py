@@ -76,7 +76,7 @@ class InvertedIndex:
         self._frozen = False
         # filled in freeze()
         self._idf: dict[str, float] = {}
-        self._doc_norm: np.ndarray = np.zeros(0)
+        self._doc_norm: np.ndarray = np.zeros(0, dtype=np.float64)
         self._token_arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         # pooled scratch vectors for search(); one per thread so pipelines
         # running workers > 1 never share an accumulator
@@ -118,7 +118,7 @@ class InvertedIndex:
             token: 1.0 + math.log((n_docs + 1) / (len(postings) + 1))
             for token, postings in self._postings.items()
         }
-        norms_squared = np.zeros(n_docs)
+        norms_squared = np.zeros(n_docs, dtype=np.float64)
         for token, postings in self._postings.items():
             token_idf = self._idf[token]
             doc_ids = np.fromiter(postings.keys(), dtype=np.intp, count=len(postings))
@@ -222,7 +222,7 @@ class InvertedIndex:
         """This thread's pooled score accumulator (zeros between queries)."""
         scores = getattr(self._scratch, "scores", None)
         if scores is None or len(scores) != len(self._doc_key):
-            scores = np.zeros(len(self._doc_key))
+            scores = np.zeros(len(self._doc_key), dtype=np.float64)
             self._scratch.scores = scores
         return scores
 
@@ -309,7 +309,10 @@ class InvertedIndex:
         """
         buffer = getattr(self._scratch, "compact", None)
         if buffer is None or len(buffer) < n:
-            buffer = np.zeros(max(n, 2 * len(buffer) if buffer is not None else n))
+            buffer = np.zeros(
+                max(n, 2 * len(buffer) if buffer is not None else n),
+                dtype=np.float64,
+            )
             self._scratch.compact = buffer
         view = buffer[:n]
         view.fill(0.0)

@@ -128,7 +128,7 @@ def _soft_tfidf(
     if not a.counts or not b.counts:
         return 0.0
     dot = 0.0
-    for token_a, count_a in a.counts.items():
+    for token_a, _count_a in a.counts.items():
         best_token = None
         best_score = threshold
         for token_b in b.counts:

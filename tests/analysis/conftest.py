@@ -1,0 +1,41 @@
+"""Shared fixture helpers for the reprolint test suite.
+
+Every test builds a tiny throwaway repo tree under ``tmp_path`` (so rule
+path scoping — ``src/repro/...`` — behaves exactly as on the real tree)
+and runs the analyzer over it.  Violating code lives in string literals,
+which keeps the fixtures invisible to full-repo lint runs.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import LintResult, run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """``lint_tree({"src/repro/x.py": source, ...}) -> LintResult``."""
+
+    counter = iter(range(1000))
+
+    def _lint(files: dict[str, str]) -> LintResult:
+        root = tmp_path / f"tree{next(counter)}"  # fresh root per call
+        for rel_path, source in files.items():
+            path = root / rel_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint(root)
+
+    return _lint
+
+
+def rule_ids(result: LintResult) -> list[str]:
+    return [finding.rule_id for finding in result.findings]
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]

@@ -1,0 +1,134 @@
+"""The ratchet: baseline split semantics, and the pin that keeps the
+committed ``reprolint_baseline.json`` exactly equal to a fresh full-repo
+run (entries leave when fixed, never quietly return).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    baseline_document,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.analysis.runner import lint_with_baseline, run_lint
+from tests.analysis.conftest import repo_root
+
+_VIOLATING = """\
+import random
+
+def jitter():
+    return random.random()
+"""
+
+
+def _tree(tmp_path, source=_VIOLATING):
+    path = tmp_path / "src" / "repro" / "core" / "thing.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def test_baseline_roundtrip(tmp_path):
+    root = _tree(tmp_path)
+    result = run_lint(root)
+    assert len(result.findings) == 1
+    baseline_path = root / DEFAULT_BASELINE_NAME
+    write_baseline(baseline_path, result.findings)
+    assert load_baseline(baseline_path) == {
+        finding.key(): 1 for finding in result.findings
+    }
+
+
+def test_baselined_finding_is_old_not_new(tmp_path):
+    root = _tree(tmp_path)
+    write_baseline(root / DEFAULT_BASELINE_NAME, run_lint(root).findings)
+    result = lint_with_baseline(root)
+    assert result.ok
+    assert result.new_findings == []
+    assert len(result.old_findings) == 1
+
+
+def test_new_finding_fails_gate(tmp_path):
+    root = _tree(tmp_path)
+    write_baseline(root / DEFAULT_BASELINE_NAME, run_lint(root).findings)
+    # a second unseeded call is new: same rule+file, different context line
+    _tree(tmp_path, _VIOLATING + "\n\ndef more():\n    return random.random()\n")
+    result = lint_with_baseline(root)
+    assert not result.ok
+    assert len(result.new_findings) == 1
+    assert len(result.old_findings) == 1
+
+
+def test_fixed_finding_makes_baseline_stale(tmp_path):
+    root = _tree(tmp_path)
+    write_baseline(root / DEFAULT_BASELINE_NAME, run_lint(root).findings)
+    _tree(tmp_path, "def jitter(rng):\n    return rng.random()\n")
+    result = lint_with_baseline(root)
+    assert not result.ok  # stale entries must be ratcheted out
+    assert result.new_findings == []
+    assert sum(result.stale_baseline.values()) == 1
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    root = _tree(tmp_path)
+    write_baseline(root / DEFAULT_BASELINE_NAME, run_lint(root).findings)
+    # pushing the violation down the file must not create a "new" finding:
+    # identity is (rule, path, stripped line), not the line number
+    _tree(tmp_path, "X = 1\nY = 2\n\n\n" + _VIOLATING)
+    result = lint_with_baseline(root)
+    assert result.ok
+
+
+def test_split_findings_counts_capacity(tmp_path):
+    root = _tree(
+        tmp_path,
+        "import random\n\ndef f():\n"
+        "    return random.random(), random.random()\n",
+    )
+    findings = run_lint(root).findings
+    assert len(findings) == 2
+    baseline = load_baseline_from_doc(findings[:1])
+    old, new, stale = split_findings(findings, baseline)
+    assert (len(old), len(new), len(stale)) == (1, 1, 0)
+
+
+def load_baseline_from_doc(findings):
+    from collections import Counter
+
+    document = baseline_document(findings)
+    return Counter(
+        {
+            (e["rule"], e["path"], e["context"]): e["count"]
+            for e in document["findings"]
+        }
+    )
+
+
+def test_committed_baseline_matches_fresh_run():
+    """The committed file is byte-for-byte what --write-baseline emits now.
+
+    This is the ratchet's anchor: any fixed finding forces the entry out of
+    the committed file (stale), and any regression shows up as new — the
+    baseline can never drift from reality.
+    """
+    root = repo_root()
+    baseline_path = root / DEFAULT_BASELINE_NAME
+    assert baseline_path.is_file(), "committed reprolint baseline is missing"
+    result = lint_with_baseline(root)
+    assert result.new_findings == [], [
+        f.to_json() for f in result.new_findings
+    ]
+    assert not result.stale_baseline, dict(result.stale_baseline)
+    committed = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert committed == baseline_document(result.findings)
+
+
+def test_full_repo_lint_is_fast():
+    # ISSUE acceptance: the full tree lints in well under ten seconds
+    result = run_lint(repo_root())
+    assert result.n_files > 100
+    assert result.seconds < 10.0

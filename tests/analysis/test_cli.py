@@ -1,0 +1,81 @@
+"""The two entry points — ``python -m repro.analysis`` (runner.main) and
+the ``repro lint`` subcommand — and the JSON report shape CI consumes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import main as analysis_main
+from repro.cli import main as cli_main
+
+_VIOLATING = "import random\n\ndef f():\n    return random.random()\n"
+_CLEAN = "def f(rng):\n    return rng.random()\n"
+
+
+def _tree(tmp_path, source):
+    path = tmp_path / "src" / "repro" / "core" / "thing.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    root = _tree(tmp_path, _VIOLATING)
+    assert analysis_main(["--root", str(root)]) == 1
+    assert "det-unseeded-random" in capsys.readouterr().out
+    assert analysis_main(["--root", str(_tree(tmp_path, _CLEAN))]) == 0
+    assert "reprolint: OK" in capsys.readouterr().out
+
+
+def test_json_report_shape(tmp_path, capsys):
+    root = _tree(tmp_path, _VIOLATING)
+    assert analysis_main(["--root", str(root), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["counts"]["new"] == 1
+    assert document["counts"]["total"] == 1
+    (finding,) = document["new_findings"]
+    assert finding["rule"] == "det-unseeded-random"
+    assert finding["path"] == "src/repro/core/thing.py"
+    assert finding["severity"] == "error"
+
+
+def test_write_baseline_then_gate_passes(tmp_path, capsys):
+    root = _tree(tmp_path, _VIOLATING)
+    assert analysis_main(["--root", str(root), "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert analysis_main(["--root", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "(baselined)" in out
+    assert "reprolint: OK" in out
+
+
+def test_partial_run_skips_staleness(tmp_path, capsys):
+    # lint a single file: baseline entries for unseen files must not count
+    # as stale (a partial run cannot judge them)
+    root = _tree(tmp_path, _VIOLATING)
+    other = root / "src" / "repro" / "core" / "other.py"
+    other.write_text(_VIOLATING, encoding="utf-8")
+    assert analysis_main(["--root", str(root), "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert analysis_main(["--root", str(root), str(other)]) == 0
+
+
+def test_repro_lint_subcommand(tmp_path, capsys):
+    root = _tree(tmp_path, _VIOLATING)
+    assert cli_main(["lint", "--root", str(root)]) == 1
+    assert "det-unseeded-random" in capsys.readouterr().out
+    assert cli_main(["lint", "--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule_id in (
+        "det-unseeded-random",
+        "det-wallclock-key",
+        "det-unordered-iter",
+        "lock-unguarded-attr",
+        "np-missing-dtype",
+        "np-scratch-escape",
+        "wire-roundtrip-field",
+        "bad-suppression",
+        "unused-suppression",
+    ):
+        assert rule_id in listing

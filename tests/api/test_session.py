@@ -109,6 +109,56 @@ class TestCandidateEngines:
         assert "batched" in names
         assert "batched/scalar" in names
 
+    def test_batched_engine_built_once_under_race(
+        self, tiny_world, monkeypatch
+    ):
+        """Concurrent callers get one shared BatchedCandidateEngine.
+
+        Regression for the lazy-init race flagged by reprolint's
+        lock-unguarded-attr rule: ``train()`` reaches
+        ``_candidate_generator_for`` without ``_pipeline_lock``, so the
+        construction itself must serialize on ``_state_lock``.
+        """
+        import threading
+        import time
+
+        import repro.api.session as session_module
+
+        session = ReproSession.from_world(
+            tiny_world.annotator_view,
+            config=SessionConfig(candidate_engine="scalar"),
+        )
+        assert session._batched_engine is None  # scalar warmup skips it
+
+        real_engine = session_module.BatchedCandidateEngine
+        built = []
+
+        class CountingEngine(real_engine):
+            def __init__(self, *args, **kwargs):
+                built.append(self)
+                time.sleep(0.05)  # widen the race window
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(
+            session_module, "BatchedCandidateEngine", CountingEngine
+        )
+
+        results = []
+        barrier = threading.Barrier(8)
+
+        def build():
+            barrier.wait()
+            results.append(session._candidate_generator_for("batched"))
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(built) == 1
+        assert all(result is results[0] for result in results)
+
 
 class TestAnnotate:
     def test_matches_direct_pipeline(self, tiny_world, api_session, api_corpus):

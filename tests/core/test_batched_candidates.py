@@ -139,8 +139,10 @@ class TestDirectQueries:
         _scalar, batched = pair
         from repro.core.candidates import CandidateEntity
 
+        from repro.catalog.errors import UnknownIdError
+
         ghost = [[CandidateEntity("ent:not-in-catalog", 1.0)]]
-        with pytest.raises(Exception):
+        with pytest.raises(UnknownIdError):
             # the scalar reference raises on unknown ids; the batched engine
             # must defer to it rather than silently answering
             batched.column_type_candidates(ghost)

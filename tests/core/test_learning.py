@@ -14,7 +14,7 @@ class TestTruthAssignment:
         labeled = wiki_tables[0]
         problem = annotator.build_problem(labeled.table)
         gold = truth_assignment(problem, labeled.truth)
-        for (row, column), space in problem.cells.items():
+        for (_row, _column), space in problem.cells.items():
             name = space.variable_name
             assert name in gold
             assert gold[name] in space.labels

@@ -76,7 +76,7 @@ class TestEndToEnd:
             table_id = edges[0].table_id
             annotation = index.annotations[table_id]
             object_column = edges[0].object_column
-            for (row, column), cell in annotation.cells.items():
+            for (_row, column), cell in annotation.cells.items():
                 if column == object_column and cell.entity_id is not None:
                     chosen_query = RelationQuery.from_catalog(
                         world.full, relation_id, cell.entity_id

@@ -149,7 +149,7 @@ class TestJoinSearch:
             index.add_table(labeled.table, annotator.annotate(labeled.table))
         index.freeze()
         # pick a city that some actor with an acted_in tuple was born in
-        for movie, actor in sorted(world.full.relations.tuples("rel:acted_in")):
+        for _movie, actor in sorted(world.full.relations.tuples("rel:acted_in")):
             cities = world.full.relations.objects_of("rel:born_in", actor)
             if cities:
                 city = sorted(cities)[0]

@@ -59,7 +59,7 @@ class TestGeneration:
         """Non-na truth entities must be instances of the column's true type
         in the FULL catalog (the generator renders ground truth)."""
         for labeled in wiki_tables:
-            for (row, column), entity_id in labeled.truth.cell_entities.items():
+            for (_row, column), entity_id in labeled.truth.cell_entities.items():
                 if entity_id is None:
                     continue
                 column_type = labeled.truth.column_types[column]
