@@ -1,0 +1,242 @@
+"""Load benchmark for the pre-fork serving tier: throughput vs workers.
+
+The serving story of the deployment section: one read-only bundle, N forked
+workers sharing its pages, a dispatcher load-balancing a closed-loop client
+population.  This bench drives the same annotate traffic through pools of
+increasing size and records aggregate throughput and client-side latency
+percentiles per worker count into ``BENCH_serve.json``.
+
+Two invariants are asserted at every scale, then a cpu-aware scaling gate:
+
+* **byte identity** — every response at every worker count is byte-identical
+  to the single-worker response for the same table (the pool must be an
+  invisible optimisation);
+* **no drops** — the admission queue is sized so the closed-loop population
+  never sheds; every request succeeds.
+* **scaling** — with >= 4 CPUs a 4-worker pool must beat one worker by the
+  gated ratio (>= 2.5x full-scale, >= 1.6x at CI smoke scale, where the
+  corpus is small enough that fixed costs blunt the slope).  On fewer CPUs
+  the gate degrades to a bounded-overhead check: the pool pays fork +
+  pipe + dispatch bookkeeping, and on one core that machinery must not
+  cost more than about half the inline throughput.  The committed
+  ``BENCH_serve.json`` records ``cpu_count`` next to every number, so a
+  1-core container's honest numbers are never mistaken for a scaling
+  failure (same policy as the process-executor sections of BENCH_fig7).
+
+Request tables are all distinct: repeated tables would hit the workers'
+candidate caches and measure queueing machinery rather than annotation.
+Run with ``REPRO_BENCH_SMOKE=1`` for the CI-scale variant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue
+import threading
+import time
+
+from repro.api.config import ServeConfig, SessionConfig
+from repro.api.types import encode_json
+from repro.eval.reporting import format_table
+from repro.serve.bundle import build_bundle
+from repro.serve.dispatcher import Dispatcher
+from repro.serve.metrics import percentile
+from repro.tables.generator import (
+    NoiseProfile,
+    TableGeneratorConfig,
+    WebTableGenerator,
+)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: pool sizes measured (1 is the scaling denominator)
+WORKER_COUNTS = (1, 2, 4)
+#: distinct request tables (each annotated once per pool size)
+N_TABLES = 32 if SMOKE else 96
+#: closed-loop clients per measured pool size
+CLIENTS = 8
+
+
+def _build_request_corpus(world):
+    """Distinct request tables + a few warmup tables, all over the world."""
+    tables = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(
+            seed=1117, n_tables=N_TABLES + 4, noise=NoiseProfile.WIKI
+        ),
+    ).generate()
+    payloads = [
+        {"table": labeled.table.to_dict(), "include_timing": False}
+        for labeled in tables[:N_TABLES]
+    ]
+    warmup = [
+        {"table": labeled.table.to_dict(), "include_timing": False}
+        for labeled in tables[N_TABLES:]
+    ]
+    return payloads, warmup
+
+
+def _drive(dispatcher: Dispatcher, payloads: list[dict], clients: int):
+    """Closed-loop load: ``clients`` threads drain the request set once.
+
+    Returns (wall_seconds, sorted per-request latencies, responses by
+    payload index).
+    """
+    work: queue.Queue[int] = queue.Queue()
+    for index in range(len(payloads)):
+        work.put(index)
+    latencies: list[float] = []
+    responses: dict[int, dict] = {}
+    failures: list[Exception] = []
+    lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            try:
+                index = work.get_nowait()
+            except queue.Empty:
+                return
+            started = time.perf_counter()
+            try:
+                response = dispatcher.call("annotate", payloads[index])
+            except Exception as error:  # noqa: BLE001 - recorded, re-raised
+                with lock:
+                    failures.append(error)
+                return
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                responses[index] = response
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if failures:
+        raise AssertionError(f"load run failed: {failures[0]!r}") from failures[0]
+    return wall, sorted(latencies), responses
+
+
+def test_serve_load_scaling(bench_world, tmp_path, emit, emit_json):
+    bundle_path = tmp_path / "bundle"
+    # the bundle corpus only feeds /search; /annotate traffic carries its
+    # own tables, so a handful of tables keeps bundle build out of the cost
+    bundle_corpus = WebTableGenerator(
+        bench_world.full,
+        TableGeneratorConfig(seed=5, n_tables=8, noise=NoiseProfile.WIKI),
+    ).generate()
+    build_bundle(bundle_path, bench_world.annotator_view, bundle_corpus)
+    payloads, warmup = _build_request_corpus(bench_world)
+
+    cpu_count = os.cpu_count() or 1
+    results: dict[int, dict] = {}
+    reference_digests: dict[int, str] = {}
+
+    for workers in WORKER_COUNTS:
+        config = SessionConfig(
+            serve=ServeConfig(
+                workers=workers,
+                queue_depth=len(payloads) + CLIENTS,  # never shed
+                shed_timeout_seconds=60.0,
+                request_timeout_seconds=600.0,
+            )
+        )
+        dispatcher = Dispatcher(bundle_path, config=config)
+        try:
+            # one pass of warmup tables per worker: first-request costs
+            # (lazy pipeline state) stay out of the measurement
+            _drive(dispatcher, warmup * workers, clients=workers)
+            wall, latencies, responses = _drive(
+                dispatcher, payloads, clients=CLIENTS
+            )
+            snapshot = dispatcher.dispatch_metrics.snapshot()
+        finally:
+            dispatcher.shutdown(drain_timeout=10.0)
+
+        assert len(responses) == len(payloads), "requests were dropped"
+        assert snapshot["shed_total"] == 0, "load run shed requests"
+        digests = {
+            index: hashlib.sha256(
+                encode_json(response).encode("utf-8")
+            ).hexdigest()
+            for index, response in responses.items()
+        }
+        if not reference_digests:
+            reference_digests = digests
+        else:
+            assert digests == reference_digests, (
+                f"{workers}-worker responses diverged from 1-worker responses"
+            )
+        results[workers] = {
+            "wall_seconds": round(wall, 4),
+            "throughput_rps": round(len(payloads) / wall, 3),
+            "latency_seconds": {
+                "p50": round(percentile(latencies, 0.50), 5),
+                "p99": round(percentile(latencies, 0.99), 5),
+                "max": round(latencies[-1], 5),
+            },
+            "queue_wait_p99": snapshot["queue_wait_seconds"]["p99"],
+        }
+
+    base = results[WORKER_COUNTS[0]]["throughput_rps"]
+    scaling = {
+        str(workers): round(results[workers]["throughput_rps"] / base, 3)
+        for workers in WORKER_COUNTS
+    }
+
+    emit(
+        "serve_load_scaling",
+        format_table(
+            ["workers", "throughput rps", "p50 s", "p99 s", "vs 1 worker"],
+            [
+                [
+                    workers,
+                    results[workers]["throughput_rps"],
+                    results[workers]["latency_seconds"]["p50"],
+                    results[workers]["latency_seconds"]["p99"],
+                    f'{scaling[str(workers)]:.2f}x',
+                ]
+                for workers in WORKER_COUNTS
+            ],
+            title=(
+                "Serving tier — annotate throughput vs pre-fork workers "
+                f"({N_TABLES} distinct tables, {CLIENTS} clients, "
+                f"{cpu_count} CPU core(s))"
+            ),
+        ),
+    )
+    emit_json(
+        "serve",
+        "load_scaling",
+        {
+            "cpu_count": cpu_count,
+            "tables": len(payloads),
+            "clients": CLIENTS,
+            "byte_identical_across_worker_counts": True,
+            "per_workers": {str(w): results[w] for w in WORKER_COUNTS},
+            "scaling_vs_one_worker": scaling,
+        },
+    )
+
+    ratio_at_4 = scaling["4"]
+    if cpu_count >= 4:
+        # the tentpole's reason to exist: near-linear aggregate scaling
+        assert ratio_at_4 >= (1.6 if SMOKE else 2.5), (
+            f"4-worker scaling {ratio_at_4:.2f}x below the gate on "
+            f"{cpu_count} CPUs"
+        )
+    elif cpu_count >= 2:
+        assert scaling["2"] >= 0.9, (
+            f"2 workers on {cpu_count} CPUs should roughly hold throughput, "
+            f"got {scaling['2']:.2f}x"
+        )
+    else:
+        # one core: pool machinery may cost, but boundedly (measured ~0.48x
+        # in the 1-core container; 0.35 leaves noise headroom)
+        assert ratio_at_4 >= 0.35, (
+            f"pool overhead on 1 CPU too high: {ratio_at_4:.2f}x"
+        )

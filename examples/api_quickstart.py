@@ -13,6 +13,8 @@ Every payload printed here is exactly what ``POST /annotate`` / ``/search``
 / ``/search/join`` would return for the same request.
 """
 
+import os
+
 from repro import (
     AnnotateRequest,
     ApiError,
@@ -27,13 +29,18 @@ from repro import (
     generate_world,
 )
 
+#: REPRO_SMOKE=1 shrinks the corpus so CI's examples job stays fast
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main() -> None:
     # 1. A seeded synthetic world and a small corpus of noisy web tables.
     world = generate_world()
     generator = WebTableGenerator(
         world.full,
-        TableGeneratorConfig(seed=11, n_tables=12, noise=NoiseProfile.WIKI),
+        TableGeneratorConfig(
+            seed=11, n_tables=6 if SMOKE else 12, noise=NoiseProfile.WIKI
+        ),
     )
     corpus = generator.generate()
 

@@ -20,6 +20,8 @@ Run with::
     python examples/catalog_augmentation.py
 """
 
+import os
+
 from repro import TableAnnotator
 from repro.catalog.io import catalog_from_dict, catalog_to_dict
 from repro.catalog.synthetic import SyntheticCatalogConfig, generate_world
@@ -30,6 +32,9 @@ from repro.tables.generator import (
     TableGeneratorConfig,
     WebTableGenerator,
 )
+
+#: REPRO_SMOKE=1 shrinks the corpus so CI's examples job stays fast
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 def entity_score(annotator, tables) -> float:
@@ -53,7 +58,9 @@ def main() -> None:
 
     corpus = WebTableGenerator(
         world.full,
-        TableGeneratorConfig(seed=60, n_tables=40, noise=NoiseProfile.WIKI),
+        TableGeneratorConfig(
+            seed=60, n_tables=10 if SMOKE else 40, noise=NoiseProfile.WIKI
+        ),
     ).generate()
     annotator = TableAnnotator(world.annotator_view)
 

@@ -13,6 +13,7 @@ Run with::
     python examples/fused_corpus_annotation.py
 """
 
+import os
 import time
 
 from repro import AnnotationPipeline
@@ -25,6 +26,9 @@ from repro.tables.generator import (
     TableGeneratorConfig,
     WebTableGenerator,
 )
+
+#: REPRO_SMOKE=1 shrinks the corpus so CI's examples job stays fast
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 def annotate(world, tables, fusion: str):
@@ -52,7 +56,10 @@ def main() -> None:
     generator = WebTableGenerator(
         world.full,
         TableGeneratorConfig(
-            seed=17, n_tables=60, rows_range=(3, 6), noise=NoiseProfile.WIKI
+            seed=17,
+            n_tables=16 if SMOKE else 60,
+            rows_range=(3, 6),
+            noise=NoiseProfile.WIKI,
         ),
     )
     tables = [labeled.table for labeled in generator.generate()]

@@ -15,6 +15,8 @@ Run with::
     python examples/join_queries.py
 """
 
+import os
+
 from repro import (
     AnnotatedTableIndex,
     JoinQuery,
@@ -29,6 +31,9 @@ from repro.tables.generator import (
     WebTableGenerator,
 )
 
+#: REPRO_SMOKE=1 shrinks the corpus so CI's examples job stays fast
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def join_demo(world, annotator) -> None:
     print("=== Join queries: movies acted in by people born in a city ===")
@@ -36,7 +41,7 @@ def join_demo(world, annotator) -> None:
         world.full,
         TableGeneratorConfig(
             seed=71,
-            n_tables=40,
+            n_tables=12 if SMOKE else 40,
             noise=NoiseProfile.WIKI,
             relations=("rel:acted_in", "rel:born_in"),
             id_prefix="join",

@@ -12,6 +12,8 @@ Run with::
     python examples/movie_search_engine.py
 """
 
+import os
+
 from repro import AnnotatedSearcher, BaselineSearcher, TrainingConfig
 from repro.catalog.synthetic import generate_world
 from repro.eval.experiments import build_annotated_index, train_model
@@ -23,6 +25,9 @@ from repro.eval.workload import (
 )
 from repro.tables.generator import NoiseProfile, TableGeneratorConfig, WebTableGenerator
 
+#: REPRO_SMOKE=1 shrinks the corpus so CI's examples job stays fast
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main() -> None:
     world = generate_world()
@@ -31,7 +36,10 @@ def main() -> None:
     train_tables = WebTableGenerator(
         world.full,
         TableGeneratorConfig(
-            seed=11, n_tables=16, noise=NoiseProfile.WIKI, id_prefix="train"
+            seed=11,
+            n_tables=8 if SMOKE else 16,
+            noise=NoiseProfile.WIKI,
+            id_prefix="train",
         ),
     ).generate()
     model = train_model(
@@ -39,7 +47,7 @@ def main() -> None:
     )
 
     print("Annotating and indexing the search corpus ...")
-    corpus = build_search_corpus(world, n_tables=80, seed=23)
+    corpus = build_search_corpus(world, n_tables=20 if SMOKE else 80, seed=23)
     index = build_annotated_index(world, corpus, model)
     print("index:", index.stats())
 

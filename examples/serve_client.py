@@ -15,11 +15,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import tempfile
 import threading
 from http.client import HTTPConnection
 from pathlib import Path
 from urllib.parse import urlparse
+
+#: REPRO_SMOKE=1 shrinks the corpus so CI's examples job stays fast
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 class ServeClient:
@@ -104,12 +108,13 @@ def boot_local_server():
     )
 
     world = generate_world(SyntheticCatalogConfig(seed=7))
+    n_tables = 5 if SMOKE else 20
     tables = WebTableGenerator(
         world.full,
-        TableGeneratorConfig(seed=11, n_tables=20, noise=NoiseProfile.WIKI),
+        TableGeneratorConfig(seed=11, n_tables=n_tables, noise=NoiseProfile.WIKI),
     ).generate()
     bundle_dir = Path(tempfile.mkdtemp(prefix="repro-bundle-")) / "bundle"
-    print(f"building bundle under {bundle_dir} (annotating 20 tables) ...")
+    print(f"building bundle under {bundle_dir} (annotating {n_tables} tables) ...")
     build_bundle(bundle_dir, world.annotator_view, tables)
     state = ServeState(load_bundle(bundle_dir))
     server = create_server(state, port=0)

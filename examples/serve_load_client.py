@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Closed-loop load driver for the `repro serve` multi-worker tier.
+
+Boots a pre-fork pool server over a freshly built bundle (so the example
+is self-contained), then drives annotate traffic from a closed-loop
+client population and prints throughput, client-side p50/p99, and the
+dispatcher's view of the same run from ``/metrics`` — the numbers the
+operations runbook (``docs/OPERATIONS.md``) tunes against.
+
+Point ``--url`` at an already-running server to load-test that instead::
+
+    repro serve --bundle bundle/ --port 8080 --workers 4
+    python examples/serve_load_client.py --url http://localhost:8080
+
+Set ``REPRO_SMOKE=1`` to run a seconds-scale variant (used by CI's
+examples smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import statistics
+import tempfile
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from urllib.parse import urlparse
+
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
+#: distinct tables to annotate (distinct so worker caches don't turn the
+#: load into a queueing-machinery microbenchmark)
+N_REQUESTS = 8 if SMOKE else 48
+#: closed-loop client threads
+CLIENTS = 4
+#: worker processes for the self-booted server
+WORKERS = 2
+
+
+def post_annotate(host: str, port: int, payload: dict) -> dict:
+    connection = HTTPConnection(host, port, timeout=300)
+    try:
+        connection.request(
+            "POST",
+            "/annotate",
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        body = json.loads(response.read())
+        if response.status != 200:
+            raise RuntimeError(f"HTTP {response.status}: {body}")
+        return body
+    finally:
+        connection.close()
+
+
+def get_json(host: str, port: int, path: str) -> dict:
+    connection = HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("GET", path)
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def boot_pool_server():
+    """Build a bundle and serve it through a 2-worker dispatcher."""
+    from repro.api.config import ServeConfig, SessionConfig
+    from repro.catalog.synthetic import SyntheticCatalogConfig, generate_world
+    from repro.serve.bundle import build_bundle
+    from repro.serve.dispatcher import Dispatcher
+    from repro.serve.server import create_server
+    from repro.tables.generator import (
+        NoiseProfile,
+        TableGeneratorConfig,
+        WebTableGenerator,
+    )
+
+    world = generate_world(SyntheticCatalogConfig(seed=7))
+    bundle_tables = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(
+            seed=11, n_tables=4 if SMOKE else 20, noise=NoiseProfile.WIKI
+        ),
+    ).generate()
+    bundle_dir = Path(tempfile.mkdtemp(prefix="repro-bundle-")) / "bundle"
+    print(f"building bundle under {bundle_dir} ...")
+    build_bundle(bundle_dir, world.annotator_view, bundle_tables)
+
+    dispatcher = Dispatcher(
+        bundle_dir,
+        config=SessionConfig(
+            serve=ServeConfig(workers=WORKERS, queue_depth=N_REQUESTS + CLIENTS)
+        ),
+    )
+    server = create_server(dispatcher, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} with {WORKERS} workers")
+
+    # request corpus: distinct tables, separate from the bundle's
+    request_tables = WebTableGenerator(
+        world.full,
+        TableGeneratorConfig(seed=1117, n_tables=N_REQUESTS, noise=NoiseProfile.WIKI),
+    ).generate()
+    payloads = [
+        {"table": labeled.table.to_dict(), "include_timing": False}
+        for labeled in request_tables
+    ]
+    return server, dispatcher, host, port, payloads
+
+
+def drive(host: str, port: int, payloads: list[dict], clients: int):
+    """Closed loop: ``clients`` threads drain the request set once."""
+    work: queue.Queue[dict] = queue.Queue()
+    for payload in payloads:
+        work.put(payload)
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            try:
+                payload = work.get_nowait()
+            except queue.Empty:
+                return
+            started = time.perf_counter()
+            post_annotate(host, port, payload)
+            with lock:
+                latencies.append(time.perf_counter() - started)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - wall_start, sorted(latencies)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running server (default: boot a 2-worker pool)",
+    )
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    args = parser.parse_args()
+
+    server = dispatcher = None
+    if args.url:
+        parsed = urlparse(args.url)
+        host, port = parsed.hostname, parsed.port or 80
+        # against an external server, replay one small demo table
+        payloads = [
+            {
+                "table": {"table_id": f"load-{i}", "cells": [["example", "row"]]},
+                "include_timing": False,
+            }
+            for i in range(N_REQUESTS)
+        ]
+    else:
+        server, dispatcher, host, port, payloads = boot_pool_server()
+
+    health = get_json(host, port, "/healthz")
+    workers = health.get("workers", {})
+    print(
+        f"\n/healthz -> {health['status']}"
+        + (f", {workers.get('alive')} worker(s) alive" if workers else "")
+    )
+
+    wall, latencies = drive(host, port, payloads, args.clients)
+    p50 = statistics.median(latencies)
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * (len(latencies) - 1)))]
+    print(
+        f"drove {len(payloads)} annotate requests with {args.clients} "
+        f"clients in {wall:.2f}s"
+    )
+    print(f"  throughput {len(payloads) / wall:6.2f} req/s")
+    print(f"  latency    p50 {p50 * 1000:7.1f} ms   p99 {p99 * 1000:7.1f} ms")
+
+    metrics = get_json(host, port, "/metrics")
+    if "dispatcher" in metrics:
+        pool = metrics["dispatcher"]
+        print(
+            f"  dispatcher: generation {pool['generation']}, "
+            f"{pool['alive_workers']} workers, shed {pool['shed_total']}, "
+            f"queue wait p99 {pool['queue_wait_seconds']['p99'] * 1000:.1f} ms"
+        )
+        for name, entry in sorted(metrics["workers"].items()):
+            handler = entry["handler_seconds"]
+            print(
+                f"    {name}: {entry['requests']:3} requests, "
+                f"handler p50 {handler['p50'] * 1000:.1f} ms"
+            )
+
+    if server is not None:
+        server.shutdown()
+        server.server_close()
+    if dispatcher is not None:
+        dispatcher.shutdown(drain_timeout=5.0)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

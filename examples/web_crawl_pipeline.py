@@ -13,6 +13,7 @@ Run with::
     python examples/web_crawl_pipeline.py
 """
 
+import os
 import random
 
 from repro import (
@@ -28,6 +29,9 @@ from repro.tables.generator import (
     TableGeneratorConfig,
     WebTableGenerator,
 )
+
+#: REPRO_SMOKE=1 shrinks the corpus so CI's examples job stays fast
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 PAGE_TEMPLATE = """
 <html><body>
@@ -77,7 +81,9 @@ def main() -> None:
     # 1. "Crawl": HTML pages, each with one data table and one layout table.
     generated = WebTableGenerator(
         world.full,
-        TableGeneratorConfig(seed=31, n_tables=25, noise=NoiseProfile.WEB),
+        TableGeneratorConfig(
+            seed=31, n_tables=8 if SMOKE else 25, noise=NoiseProfile.WEB
+        ),
     ).generate()
     pages = [
         render_page(labeled, junk=rng.choice(("© 2009", "ads here", "login")))

@@ -35,6 +35,7 @@ from repro.api import (
     ReproSession,
     SearchRequest,
     SearchResponse,
+    ServeConfig,
     SessionConfig,
     TrainRequest,
     TrainResponse,
@@ -97,6 +98,7 @@ __all__ = [
     "ReproSession",
     "SearchRequest",
     "SearchResponse",
+    "ServeConfig",
     "SessionConfig",
     "TrainRequest",
     "TrainResponse",

@@ -26,6 +26,7 @@ Quickstart::
 from repro.api.errors import ApiError, BadRequestError, to_api_error
 from repro.api.config import (
     SearchConfig,
+    ServeConfig,
     SessionConfig,
     VALID_CANDIDATE_ENGINES,
     VALID_ENGINES,
@@ -64,6 +65,7 @@ __all__ = [
     "JoinSearchRequest",
     "ReproSession",
     "SearchConfig",
+    "ServeConfig",
     "SearchRequest",
     "SearchResponse",
     "SessionConfig",

@@ -102,6 +102,48 @@ class SearchConfig:
 
 
 @dataclass
+class ServeConfig:
+    """Knobs of the multi-process serving tier (``repro serve``).
+
+    ``workers`` is the pre-fork worker-process count (each worker runs one
+    warm :class:`~repro.pipeline.AnnotationPipeline` over the shared
+    read-only bundle).  ``queue_depth`` bounds how many requests may wait
+    for a worker beyond the ``workers`` already in flight; a request that
+    cannot be admitted within ``shed_timeout_seconds`` is shed with a 503
+    ``overloaded``.  See ``docs/OPERATIONS.md`` for tuning guidance.
+    """
+
+    #: pre-fork worker processes (1 still forks one worker; the in-process
+    #: inline backend is a library construct, not a CLI mode)
+    workers: int = 1
+    #: requests allowed to queue for a worker beyond the in-flight ones
+    queue_depth: int = 16
+    #: how long a request may wait for admission before a 503 shed
+    shed_timeout_seconds: float = 2.0
+    #: hard per-request ceiling; a worker silent past this is presumed
+    #: wedged, killed and replaced
+    request_timeout_seconds: float = 120.0
+    #: cadence of the dead-worker sweep (liveness + replacement)
+    health_interval_seconds: float = 1.0
+    #: how long shutdown / hot-swap waits for in-flight requests to finish
+    drain_timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("serve workers must be >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("serve queue_depth must be >= 0")
+        for name in (
+            "shed_timeout_seconds",
+            "request_timeout_seconds",
+            "health_interval_seconds",
+            "drain_timeout_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"serve {name} must be >= 0")
+
+
+@dataclass
 class SessionConfig:
     """Everything a :class:`~repro.api.session.ReproSession` is built from.
 
@@ -125,6 +167,7 @@ class SessionConfig:
     compiled_cache_size: int = 2048
     annotator: AnnotatorConfig = field(default_factory=AnnotatorConfig)
     search: SearchConfig = field(default_factory=SearchConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
@@ -186,6 +229,7 @@ class SessionConfig:
             "compiled_cache_size": self.compiled_cache_size,
             "annotator": self.annotator.to_dict(),
             "search": dataclasses.asdict(self.search),
+            "serve": dataclasses.asdict(self.serve),
         }
 
     @classmethod
@@ -205,6 +249,8 @@ class SessionConfig:
                 )
             if "search" in kwargs:
                 kwargs["search"] = SearchConfig(**dict(kwargs["search"]))
+            if "serve" in kwargs:
+                kwargs["serve"] = ServeConfig(**dict(kwargs["serve"]))
             return cls(**kwargs)
         except ApiError:
             raise

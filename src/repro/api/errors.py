@@ -32,6 +32,13 @@ code                                    status  raised when
 ``no_index``                            409     search on a session with no
                                                 table index (build one or
                                                 open a bundle)
+``overloaded``                          503     every worker busy and the
+                                                dispatch queue full — the
+                                                request was shed, retry with
+                                                backoff
+``worker_failed``                       503     the worker process handling
+                                                the request died mid-flight
+                                                (it is restarted; retry)
 ``bundle_invalid``                      500     a bundle is missing/unreadable
 ``bundle_version_unsupported``          500     a bundle's format version is
                                                 not supported
@@ -58,6 +65,8 @@ IO_ERROR = "io_error"
 NOT_FOUND = "not_found"
 METHOD_NOT_ALLOWED = "method_not_allowed"
 NO_INDEX = "no_index"
+OVERLOADED = "overloaded"
+WORKER_FAILED = "worker_failed"
 BUNDLE_INVALID = "bundle_invalid"
 BUNDLE_VERSION_UNSUPPORTED = "bundle_version_unsupported"
 BUNDLE_INTEGRITY = "bundle_integrity"
@@ -76,6 +85,8 @@ HTTP_STATUS: dict[str, int] = {
     NOT_FOUND: 404,
     METHOD_NOT_ALLOWED: 405,
     NO_INDEX: 409,
+    OVERLOADED: 503,
+    WORKER_FAILED: 503,
     BUNDLE_INVALID: 500,
     BUNDLE_VERSION_UNSUPPORTED: 500,
     BUNDLE_INTEGRITY: 500,

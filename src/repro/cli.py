@@ -14,7 +14,9 @@ Commands:
 * ``bundle build`` / ``bundle info`` — serialize (and inspect) everything
   the query path needs into a versioned artifact bundle,
 * ``serve``          — long-lived HTTP service answering ``/annotate`` and
-  ``/search`` from a prebuilt bundle (see :mod:`repro.serve`).
+  ``/search`` from a prebuilt bundle, with a pre-fork multi-worker tier
+  (``--workers N``), 503 load shedding and bundle hot-swap
+  (see :mod:`repro.serve` and ``docs/OPERATIONS.md``).
 
 Every command is a thin argparse shim over the typed API: flags become a
 request object from :mod:`repro.api.types`, one shared
@@ -34,6 +36,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro.api.config import (
     VALID_CANDIDATE_ENGINES,
@@ -358,33 +361,82 @@ def cmd_bundle_info(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.api.config import ServeConfig
     from repro.serve.bundle import load_bundle
     from repro.serve.server import create_server, run_server
     from repro.serve.state import ServeState
 
-    bundle = load_bundle(args.bundle, verify=not args.no_verify)
-    state = ServeState(
-        bundle,
-        default_engine=args.engine,
-        session_config=SessionConfig(
-            engine=args.engine,
-            candidate_engine=args.candidate_engine,
-            fusion=args.fusion,
-            executor=args.executor,
-            cache_size=args.cache_size,
+    config = SessionConfig(
+        engine=args.engine,
+        candidate_engine=args.candidate_engine,
+        fusion=args.fusion,
+        executor=args.executor,
+        cache_size=args.cache_size,
+        serve=ServeConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            shed_timeout_seconds=args.shed_timeout,
+            request_timeout_seconds=args.request_timeout,
+            health_interval_seconds=args.health_interval,
+            drain_timeout_seconds=args.drain_timeout,
         ),
     )
+    verify = not args.no_verify
+    backend: Any
+    if args.inline:
+        bundle = load_bundle(args.bundle, verify=verify)
+        backend = ServeState(bundle, session_config=config)
+        topology = "inline (in-process)"
+        n_tables = len(backend.index)
+    else:
+        try:
+            from repro.serve.dispatcher import Dispatcher
+            from repro.serve.pool import fork_context
+
+            fork_context()  # raises where fork is unavailable
+        except RuntimeError as error:
+            print(f"warning: {error}", file=sys.stderr, flush=True)
+            bundle = load_bundle(args.bundle, verify=verify)
+            backend = ServeState(bundle, session_config=config)
+            topology = "inline (in-process; fork unavailable)"
+            n_tables = len(backend.index)
+        else:
+            backend = Dispatcher(
+                args.bundle,
+                config=config,
+                verify=verify,
+                quiet=not args.verbose,
+            )
+            topology = f"{args.workers} pre-fork worker(s)"
+            n_tables = backend.healthz()["tables"]
     server = create_server(
-        state, host=args.host, port=args.port, quiet=not args.verbose
+        backend, host=args.host, port=args.port, quiet=not args.verbose
     )
+
+    def _drain(signum: int, frame: Any) -> None:
+        # serve_forever must be stopped from another thread; server_close
+        # then joins the in-flight handler threads before we drain workers
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     host, port = server.server_address[:2]
     print(
-        f"serving bundle {args.bundle} ({len(state.index)} tables) "
-        f"on http://{host}:{port}  (Ctrl-C to stop)",
+        f"serving bundle {args.bundle} ({n_tables} tables, {topology}) "
+        f"on http://{host}:{port}  (Ctrl-C to stop, SIGTERM to drain)",
         file=sys.stderr,
         flush=True,
     )
     run_server(server)
+    drained = server.backend.shutdown(config.serve.drain_timeout_seconds)
+    print(
+        "shutdown: in-flight requests "
+        + ("drained" if drained else "FORCE-STOPPED after drain timeout"),
+        file=sys.stderr,
+        flush=True,
+    )
     return 0
 
 
@@ -567,6 +619,50 @@ def build_parser() -> argparse.ArgumentParser:
         type=_non_negative_int,
         default=100_000,
         help="candidate-cache entries (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="pre-fork worker processes sharing the mmapped bundle "
+        "(default 1; see docs/OPERATIONS.md for tuning)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=_non_negative_int,
+        default=16,
+        help="requests allowed to queue beyond the in-flight workers "
+        "before load shedding kicks in",
+    )
+    serve.add_argument(
+        "--shed-timeout",
+        type=float,
+        default=2.0,
+        help="seconds a request may wait for admission before a 503 shed",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        help="per-request ceiling; a worker silent past this is replaced",
+    )
+    serve.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between dead-worker sweeps",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds shutdown / hot-swap waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--inline",
+        action="store_true",
+        help="run in-process (no worker fork) — library/debug shape; "
+        "--workers is ignored",
     )
     serve.add_argument(
         "--no-verify",

@@ -11,13 +11,18 @@ The offline/online split of the paper's deployment story:
   :class:`~repro.api.ReproSession` → typed response → JSON).
 * :mod:`repro.serve.server` — the threaded stdlib-HTTP front end
   (``repro serve``): ``/annotate``, ``/search``, ``/search/join``,
-  ``/healthz``, ``/metrics``.
-* :mod:`repro.serve.metrics` — request counters and latency percentiles.
+  ``/healthz``, ``/metrics``, ``/admin/reload``.
+* :mod:`repro.serve.pool` / :mod:`repro.serve.dispatcher` — the pre-fork
+  multi-process tier (``repro serve --workers N``): forked workers sharing
+  one mmapped bundle, admission control with 503 load shedding, automatic
+  worker restart, and generational bundle hot-swap.
+* :mod:`repro.serve.metrics` — request counters and latency percentiles,
+  aggregate and per-worker.
 
-Quickstart::
+Quickstart (see ``docs/OPERATIONS.md`` for the full runbook)::
 
     repro bundle build --catalog view.json --corpus corpus.jsonl --output b/
-    repro serve --bundle b/ --port 8080
+    repro serve --bundle b/ --port 8080 --workers 4
     curl -s localhost:8080/healthz
 """
 
@@ -37,8 +42,15 @@ from repro.serve.errors import (
     BundleVersionError,
     ServeError,
 )
-from repro.serve.metrics import MetricsRegistry
-from repro.serve.server import TableServer, create_server, run_server
+from repro.serve.dispatcher import Dispatcher
+from repro.serve.metrics import DispatcherMetrics, MetricsRegistry
+from repro.serve.pool import WorkerHandle, WorkerTimeout, spawn_worker
+from repro.serve.server import (
+    InlineBackend,
+    TableServer,
+    create_server,
+    run_server,
+)
 from repro.serve.state import ServeState
 
 __all__ = [
@@ -48,15 +60,21 @@ __all__ = [
     "BundleIntegrityError",
     "BundleManifest",
     "BundleVersionError",
+    "Dispatcher",
+    "DispatcherMetrics",
+    "InlineBackend",
     "LoadedBundle",
     "MetricsRegistry",
     "ServeError",
     "ServeState",
     "TableServer",
+    "WorkerHandle",
+    "WorkerTimeout",
     "build_bundle",
     "create_server",
     "load_bundle",
     "read_manifest",
     "run_server",
+    "spawn_worker",
     "verify_bundle",
 ]

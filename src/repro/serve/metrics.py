@@ -1,11 +1,20 @@
 """Request metrics for the long-lived server.
 
-One :class:`MetricsRegistry` per server.  Every handled request records
-``(endpoint, seconds, error)``; the registry keeps per-endpoint counters and
-a bounded window of recent latencies from which ``/metrics`` reports
-percentiles.  All mutation happens under one lock — the arithmetic is
-nanoseconds next to request work, so a single mutex is the entire
-concurrency story here.
+Two registries, both locked the same way (all mutation under one mutex —
+the arithmetic is nanoseconds next to request work):
+
+* :class:`MetricsRegistry` — per-endpoint counters and a bounded window of
+  recent latencies, observed at the HTTP layer.  This is the **aggregate**
+  view: whatever the worker topology, every request lands here once.
+* :class:`DispatcherMetrics` — the multi-process tier's split of the same
+  traffic: per-worker handler-latency histograms (the time inside the
+  worker process, excluding queue wait), a queue-wait window, and the
+  dispatcher counters (sheds, worker restarts, reloads, in-flight gauge).
+
+``/metrics`` reports both: the aggregate ``endpoints`` section keeps its
+shape from the single-process days, and the ``workers`` / ``dispatcher``
+sections carry the per-worker split (see ``docs/OPERATIONS.md`` for the
+full field reference).
 """
 
 from __future__ import annotations
@@ -85,5 +94,108 @@ class MetricsRegistry:
                 "endpoints": {
                     endpoint: metrics.snapshot()
                     for endpoint, metrics in sorted(self._endpoints.items())
+                },
+            }
+
+
+class DispatcherMetrics:
+    """Per-worker and dispatcher-level accounting for the pre-fork tier.
+
+    Worker names are generation-qualified (``g1.w0``): a hot-swap starts a
+    fresh histogram per new worker instead of mixing two bundles' latency
+    profiles.  Every method takes the one lock; the snapshot is a deep copy
+    so callers never alias live state.
+    """
+
+    def __init__(self, window_size: int = 2048) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self._window_size = window_size
+        self._lock = threading.Lock()
+        self._workers: dict[str, EndpointMetrics] = {}
+        self._queue_window: deque[float] = deque(maxlen=window_size)
+        self._shed: dict[str, int] = {}
+        self._in_flight = 0
+        self._worker_restarts = 0
+        self._reloads = 0
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def observe_admitted(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def observe_done(
+        self,
+        worker: str,
+        queue_seconds: float,
+        handler_seconds: float,
+        error: bool,
+    ) -> None:
+        """One request finished on ``worker`` (successfully or with an
+        API error — transport-level worker deaths go through
+        :meth:`observe_worker_restart` instead)."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            metrics = self._workers.get(worker)
+            if metrics is None:
+                metrics = self._workers[worker] = EndpointMetrics(
+                    self._window_size
+                )
+            metrics.observe(handler_seconds, error)
+            self._queue_window.append(queue_seconds)
+
+    def observe_shed(self, endpoint: str) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            self._shed[endpoint] = self._shed.get(endpoint, 0) + 1
+
+    def observe_worker_failed(self) -> None:
+        """A request died with its worker: drop the in-flight slot."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            self._worker_restarts += 1
+
+    def observe_worker_restart(self) -> None:
+        """An idle worker found dead by the health sweep and replaced."""
+        with self._lock:
+            self._worker_restarts += 1
+
+    def observe_reload(self) -> None:
+        with self._lock:
+            self._reloads += 1
+
+    def forget_worker(self, worker: str) -> None:
+        """Drop a retired generation's histogram (its counters already
+        contributed to the aggregate registry)."""
+        with self._lock:
+            self._workers.pop(worker, None)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def worker_snapshot(self, worker: str) -> dict:
+        with self._lock:
+            metrics = self._workers.get(worker)
+            if metrics is None:
+                return EndpointMetrics(self._window_size).snapshot()
+            return metrics.snapshot()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._queue_window)
+            return {
+                "in_flight": self._in_flight,
+                "shed_total": sum(self._shed.values()),
+                "shed": dict(sorted(self._shed.items())),
+                "worker_restarts": self._worker_restarts,
+                "reloads": self._reloads,
+                "queue_wait_seconds": {
+                    "p50": round(percentile(ordered, 0.50), 6),
+                    "p90": round(percentile(ordered, 0.90), 6),
+                    "p99": round(percentile(ordered, 0.99), 6),
+                    "max": round(ordered[-1], 6) if ordered else 0.0,
+                    "window": len(ordered),
                 },
             }

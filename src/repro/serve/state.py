@@ -29,9 +29,13 @@ Concurrency model (the whole locking story):
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import replace
 
+from repro.api import errors as api_errors
 from repro.api.config import SessionConfig
+from repro.api.errors import ApiError
 from repro.api.session import ReproSession
 from repro.api.types import (
     SCHEMA_VERSION,
@@ -120,6 +124,25 @@ class ServeState:
     # ------------------------------------------------------------------
     # request handlers: decode -> session -> encode
     # ------------------------------------------------------------------
+    def handle(self, endpoint: str, payload: dict) -> dict:
+        """Route one decoded request body by endpoint name.
+
+        The single routing table shared by the in-process backend and the
+        pool workers (:mod:`repro.serve.pool`), so the two serving modes
+        cannot drift.  ``_sleep`` is a drain/test aid — it is never routed
+        by the HTTP server, only reachable through a dispatcher handle.
+        """
+        if endpoint == "annotate":
+            return self.annotate_payload(payload)
+        if endpoint == "search":
+            return self.search_payload(payload)
+        if endpoint == "search_join":
+            return self.search_join_payload(payload)
+        if endpoint == "_sleep":
+            time.sleep(float(payload.get("seconds", 0.0)))
+            return {"slept": payload.get("seconds", 0.0), "pid": os.getpid()}
+        raise ApiError(api_errors.NOT_FOUND, f"unknown endpoint: {endpoint}")
+
     def annotate_payload(self, payload: dict) -> dict:
         """Handle one ``/annotate`` body."""
         return self.session.annotate(AnnotateRequest.from_json(payload)).to_json()
@@ -151,6 +174,21 @@ class ServeState:
     def metrics_snapshot(self) -> dict:
         snapshot = self.metrics.snapshot()
         snapshot["schema_version"] = SCHEMA_VERSION
+        snapshot["caches"] = self.cache_stats()
+        snapshot["bundle"] = {
+            "path": str(self.bundle.path),
+            "tables": len(self.index),
+            "identity": self.bundle.manifest.identity,
+        }
+        return snapshot
+
+    def worker_stats(self) -> dict:
+        """The per-process stats fragment a pool worker reports to the
+        dispatcher's ``/metrics`` aggregation (see :mod:`repro.serve.pool`)."""
+        return {"pid": os.getpid(), "caches": self.cache_stats()}
+
+    def cache_stats(self) -> dict:
+        """Cache/fusion counters of every warm pipeline, keyed by engine."""
         caches: dict[str, dict] = {}
         for engine, pipeline in sorted(self.session.pipelines().items()):
             entry: dict[str, dict] = {}
@@ -178,10 +216,4 @@ class ServeState:
                 ),
             }
             caches[engine] = entry
-        snapshot["caches"] = caches
-        snapshot["bundle"] = {
-            "path": str(self.bundle.path),
-            "tables": len(self.index),
-            "identity": self.bundle.manifest.identity,
-        }
-        return snapshot
+        return caches

@@ -358,7 +358,7 @@ def test_bad_request_error_keeps_serve_hierarchy():
 
 def test_every_error_code_has_a_status():
     for code in api_errors.ERROR_CODES:
-        assert api_errors.http_status_for(code) in (400, 404, 405, 409, 500)
+        assert api_errors.http_status_for(code) in (400, 404, 405, 409, 500, 503)
     assert api_errors.http_status_for("never_registered") == 500
 
 

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Documentation checks: intra-repo markdown links and runnable examples.
+
+Two subcommands, both exercised by CI's ``docs`` job:
+
+``links``
+    Scan every tracked ``*.md`` file for relative links and verify each
+    target resolves inside the repository.  Anchored links
+    (``docs/FILE.md#section`` or ``#section``) are also checked against
+    the target file's headings using GitHub's anchor slug rules, so a
+    renamed section breaks the build rather than the reader.
+
+``examples``
+    Run every script under ``examples/`` with ``REPRO_SMOKE=1`` (the
+    convention every example honours to shrink its corpus) and fail on
+    any non-zero exit.  This keeps the examples from rotting as the API
+    moves.
+
+Run both with no arguments::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline markdown links, including the multi-line ``[text\n](target)``
+#: style this repo uses to keep lines short
+LINK_PATTERN = re.compile(r"\]\(([^)\s]+)\)")
+#: schemes that are external by definition — not ours to verify
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+#: directories never scanned for markdown
+SKIP_DIRS = {".git", ".venv", "__pycache__", "node_modules", ".mypy_cache"}
+
+
+def iter_markdown_files() -> list[Path]:
+    found = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            found.append(path)
+    return found
+
+
+def strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — their ``#`` lines are not headings and
+    their bracketed text is not links."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def anchor_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor rule: lowercase, strip punctuation,
+    spaces to hyphens."""
+    text = heading.strip().lstrip("#").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> set[str]:
+    anchors = set()
+    for line in strip_code_blocks(path.read_text()).splitlines():
+        if line.startswith("#"):
+            anchors.add(anchor_slug(line))
+    return anchors
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    for markdown in iter_markdown_files():
+        text = strip_code_blocks(markdown.read_text())
+        for target in LINK_PATTERN.findall(text):
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            relative = markdown.relative_to(REPO_ROOT)
+            path_part, _, anchor = target.partition("#")
+            resolved = (
+                markdown if not path_part else (markdown.parent / path_part)
+            ).resolve()
+            if not resolved.exists():
+                problems.append(f"{relative}: broken link -> {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in collect_anchors(resolved):
+                    problems.append(
+                        f"{relative}: anchor #{anchor} not found in "
+                        f"{resolved.relative_to(REPO_ROOT)}"
+                    )
+    return problems
+
+
+def check_examples() -> list[str]:
+    problems: list[str] = []
+    environment = dict(os.environ, REPRO_SMOKE="1")
+    environment["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}{os.pathsep}{environment.get('PYTHONPATH', '')}"
+    )
+    scripts = sorted((REPO_ROOT / "examples").glob("*.py"))
+    for script in scripts:
+        name = script.relative_to(REPO_ROOT)
+        started = time.perf_counter()
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            env=environment,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        elapsed = time.perf_counter() - started
+        if result.returncode != 0:
+            problems.append(
+                f"{name}: exit {result.returncode}\n"
+                f"--- stderr (tail) ---\n{result.stderr[-2000:]}"
+            )
+            print(f"  FAIL {name} ({elapsed:.1f}s)")
+        else:
+            print(f"  ok   {name} ({elapsed:.1f}s)")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "check",
+        nargs="?",
+        choices=("links", "examples", "all"),
+        default="all",
+    )
+    args = parser.parse_args()
+
+    problems: list[str] = []
+    if args.check in ("links", "all"):
+        print("checking intra-repo markdown links ...")
+        link_problems = check_links()
+        problems.extend(link_problems)
+        print(f"  {len(iter_markdown_files())} files, {len(link_problems)} broken")
+    if args.check in ("examples", "all"):
+        print("running examples/ in smoke mode (REPRO_SMOKE=1) ...")
+        problems.extend(check_examples())
+
+    if problems:
+        print("\nFAILURES:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
