@@ -87,5 +87,34 @@ def split_findings(
             old.append(finding)
         else:
             new.append(finding)
+    # rename re-key: a "new" finding whose (rule, context) matches leftover
+    # capacity under a *different* path is a moved file, not a new
+    # violation — let it consume that capacity (context is the stripped
+    # source line, so the match is on the actual offending code)
+    renamed: list[Finding] = []
+    still_new: list[Finding] = []
+    for finding in new:
+        rule_id, _path, context = finding.key()
+        if not context:
+            still_new.append(finding)
+            continue
+        donor = next(
+            (
+                key
+                for key in sorted(remaining)
+                if remaining[key] > 0
+                and key[0] == rule_id
+                and key[2] == context
+            ),
+            None,
+        )
+        if donor is None:
+            still_new.append(finding)
+        else:
+            remaining[donor] -= 1
+            renamed.append(finding)
+    if renamed:
+        old = sorted(old + renamed)
+        new = still_new
     stale = Counter({key: count for key, count in remaining.items() if count > 0})
     return old, new, stale

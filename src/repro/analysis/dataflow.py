@@ -1,0 +1,468 @@
+"""Forward taint dataflow over the whole-program call graph.
+
+Sources are the nondeterminism reads that must never shape an identity:
+wall clock (``time.time`` / ``datetime.now`` / ``date.today``), unseeded
+RNG draws, ``os.environ`` reads and ``id()``.  The analysis is a simple
+forward pass per function — assignments propagate taint through local
+names (and ``self.<attr>`` pseudo-names), expressions union the taints of
+their operands — plus two interprocedural summaries computed to fixpoint
+over the call graph:
+
+* **returns**: the source taints a function's return value can carry,
+* **param flows**: which parameters flow into the return value, so a
+  tainted argument stays tainted through a formatting/combining helper.
+
+Monotonic-union state means the fixpoint always converges; ``via`` chains
+record the call path for human-readable findings but never affect
+convergence (summaries are keyed by ``(kind, source)``).
+
+``time.perf_counter`` / ``time.monotonic`` are deliberately *not*
+sources: they are the sanctioned timing reads and only ever feed metrics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.program import FunctionInfo, Program, chain_of
+
+#: taint kinds, by source family
+WALL_CLOCK = "wall-clock"
+UNSEEDED_RANDOM = "unseeded-random"
+ENVIRON = "environ"
+OBJECT_IDENTITY = "object-identity"
+
+#: internal marker taint seeded on parameters to detect param->return flow;
+#: never surfaced in findings
+_PARAM = "__param__"
+
+#: ``(value name, attribute)`` pairs that read the wall clock
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+    }
+)
+
+#: module-level ``random.*`` draws on the shared unseeded state (the
+#: authoritative list lives with the intraprocedural rule)
+_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "normal",
+        "rand",
+        "randn",
+    }
+)
+
+#: builtins / methods that transform a value without laundering its taint
+_PASSTHROUGH = frozenset(
+    {
+        "str",
+        "repr",
+        "format",
+        "bytes",
+        "int",
+        "float",
+        "bool",
+        "hex",
+        "oct",
+        "abs",
+        "round",
+        "min",
+        "max",
+        "sum",
+        "len",
+        "tuple",
+        "list",
+        "set",
+        "frozenset",
+        "dict",
+        "sorted",
+        "reversed",
+        "join",
+        "encode",
+        "decode",
+        "strip",
+        "lstrip",
+        "rstrip",
+        "lower",
+        "upper",
+        "replace",
+        "zfill",
+        "hexdigest",
+        "digest",
+        "isoformat",
+        "timestamp",
+        "strftime",
+    }
+)
+
+_MAX_VIA = 4
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One nondeterminism source, plus the call chain it traveled."""
+
+    kind: str
+    source: str
+    via: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        text = self.source
+        for hop in self.via:
+            text += f" via {hop}()"
+        return text
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def call_source(call: ast.Call) -> Taint | None:
+    """The taint a call expression introduces directly, if any."""
+    parts = chain_of(call.func)
+    if parts is None:
+        return None
+    tail = tuple(parts[-2:])
+    if len(tail) == 2 and tail in _WALL_CLOCK_CALLS:
+        return Taint(WALL_CLOCK, f"{tail[0]}.{tail[1]}()")
+    if len(parts) >= 2 and parts[-2] == "random" and parts[-1] in _RANDOM_FNS:
+        prefix = ".".join(parts[:-1])
+        return Taint(UNSEEDED_RANDOM, f"{prefix}.{parts[-1]}()")
+    if tail == ("os", "getenv") or tail == ("environ", "get"):
+        return Taint(ENVIRON, f"{tail[0]}.{tail[1]}()")
+    if parts == ["id"]:
+        return Taint(OBJECT_IDENTITY, "id()")
+    return None
+
+
+def _subscript_source(node: ast.Subscript) -> Taint | None:
+    parts = chain_of(node.value)
+    if parts is not None and parts[-1] == "environ":
+        return Taint(ENVIRON, "os.environ[...]")
+    return None
+
+
+@dataclass
+class _Summary:
+    """Interprocedural facts about one function."""
+
+    returns: dict[tuple[str, str], Taint]
+    param_flows: set[str]
+
+
+class TaintAnalysis:
+    """Run the dataflow once over a :class:`Program`; query per expression."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._summaries: dict[str, _Summary] = {
+            qualname: _Summary(returns={}, param_flows=set())
+            for qualname in program.functions
+        }
+        self._locals: dict[str, dict[str, set[Taint]]] = {}
+        self._run()
+
+    # ------------------------------------------------------------------
+    # public queries
+    # ------------------------------------------------------------------
+    def taints_of(self, fn: FunctionInfo, expr: ast.expr) -> set[Taint]:
+        """Source taints an expression can carry inside ``fn`` (final state)."""
+        env = self._locals.get(fn.qualname, {})
+        return {
+            taint
+            for taint in self._eval(fn, expr, env)
+            if taint.kind != _PARAM
+        }
+
+    def returns_of(self, qualname: str) -> set[Taint]:
+        summary = self._summaries.get(qualname)
+        if summary is None:
+            return set()
+        return {
+            taint
+            for taint in summary.returns.values()
+            if taint.kind != _PARAM
+        }
+
+    # ------------------------------------------------------------------
+    # fixpoint
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        functions = list(self.program.functions.values())
+        for _ in range(len(functions) + 1):
+            changed = False
+            for fn in functions:
+                env, returns = self._analyze(fn)
+                self._locals[fn.qualname] = env
+                summary = self._summaries[fn.qualname]
+                for taint in returns:
+                    key = (taint.kind, taint.source)
+                    if key not in summary.returns:
+                        summary.returns[key] = taint
+                        changed = True
+                    if (
+                        taint.kind == _PARAM
+                        and taint.source not in summary.param_flows
+                    ):
+                        summary.param_flows.add(taint.source)
+                        changed = True
+            if not changed:
+                break
+
+    def _analyze(
+        self, fn: FunctionInfo
+    ) -> tuple[dict[str, set[Taint]], set[Taint]]:
+        env: dict[str, set[Taint]] = {}
+        arguments = fn.node.args
+        for arg in [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]:
+            if arg.arg != "self":
+                env[arg.arg] = {Taint(_PARAM, arg.arg)}
+        returns: set[Taint] = set()
+        # two passes make simple loop-carried flows converge locally
+        for _ in range(2):
+            self._exec_block(fn, fn.node.body, env, returns)
+        return env, returns
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _exec_block(
+        self,
+        fn: FunctionInfo,
+        statements: list[ast.stmt],
+        env: dict[str, set[Taint]],
+        returns: set[Taint],
+    ) -> None:
+        for statement in statements:
+            self._exec(fn, statement, env, returns)
+
+    def _exec(
+        self,
+        fn: FunctionInfo,
+        statement: ast.stmt,
+        env: dict[str, set[Taint]],
+        returns: set[Taint],
+    ) -> None:
+        if isinstance(statement, ast.Assign):
+            taints = self._eval(fn, statement.value, env)
+            for target in statement.targets:
+                self._assign(target, taints, env)
+        elif isinstance(statement, ast.AugAssign):
+            taints = self._eval(fn, statement.value, env)
+            taints |= self._eval(fn, statement.target, env)
+            self._assign(statement.target, taints, env)
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                self._assign(
+                    statement.target,
+                    self._eval(fn, statement.value, env),
+                    env,
+                )
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                returns |= self._eval(fn, statement.value, env)
+        elif isinstance(statement, (ast.If,)):
+            self._exec_block(fn, statement.body, env, returns)
+            self._exec_block(fn, statement.orelse, env, returns)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._assign(
+                statement.target, self._eval(fn, statement.iter, env), env
+            )
+            self._exec_block(fn, statement.body, env, returns)
+            self._exec_block(fn, statement.orelse, env, returns)
+        elif isinstance(statement, ast.While):
+            self._exec_block(fn, statement.body, env, returns)
+            self._exec_block(fn, statement.orelse, env, returns)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                if item.optional_vars is not None:
+                    self._assign(
+                        item.optional_vars,
+                        self._eval(fn, item.context_expr, env),
+                        env,
+                    )
+            self._exec_block(fn, statement.body, env, returns)
+        elif isinstance(statement, ast.Try):
+            self._exec_block(fn, statement.body, env, returns)
+            for handler in statement.handlers:
+                self._exec_block(fn, handler.body, env, returns)
+            self._exec_block(fn, statement.orelse, env, returns)
+            self._exec_block(fn, statement.finalbody, env, returns)
+        elif isinstance(statement, ast.Expr):
+            self._eval(fn, statement.value, env)
+        # nested defs/classes are separate analysis units (or out of scope)
+
+    def _assign(
+        self,
+        target: ast.expr,
+        taints: set[Taint],
+        env: dict[str, set[Taint]],
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taints, env)
+            return
+        if isinstance(target, ast.Starred):
+            self._assign(target.value, taints, env)
+            return
+        name: str | None = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        else:
+            parts = chain_of(target)
+            if parts is not None:
+                name = ".".join(parts)
+        if name is not None:
+            env.setdefault(name, set())
+            env[name] |= taints
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _eval(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: dict[str, set[Taint]],
+    ) -> set[Taint]:
+        if isinstance(expr, ast.Call):
+            return self._eval_call(fn, expr, env)
+        if isinstance(expr, ast.Name):
+            return set(env.get(expr.id, ()))
+        if isinstance(expr, ast.Attribute):
+            parts = chain_of(expr)
+            if parts is not None:
+                dotted = ".".join(parts)
+                if dotted in env:
+                    return set(env[dotted])
+            return self._eval(fn, expr.value, env)
+        if isinstance(expr, ast.Subscript):
+            source = _subscript_source(expr)
+            found = {source} if source is not None else set()
+            return found | self._eval(fn, expr.value, env)
+        if isinstance(expr, ast.BinOp):
+            return self._eval(fn, expr.left, env) | self._eval(
+                fn, expr.right, env
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(fn, expr.operand, env)
+        if isinstance(expr, ast.BoolOp):
+            out: set[Taint] = set()
+            for value in expr.values:
+                out |= self._eval(fn, value, env)
+            return out
+        if isinstance(expr, ast.Compare):
+            return set()  # comparison results are booleans, not identities
+        if isinstance(expr, ast.IfExp):
+            return self._eval(fn, expr.body, env) | self._eval(
+                fn, expr.orelse, env
+            )
+        if isinstance(expr, ast.JoinedStr):
+            out = set()
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self._eval(fn, value.value, env)
+            return out
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in expr.elts:
+                out |= self._eval(fn, element, env)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = set()
+            for key in expr.keys:
+                if key is not None:
+                    out |= self._eval(fn, key, env)
+            for value in expr.values:
+                out |= self._eval(fn, value, env)
+            return out
+        if isinstance(expr, ast.Await):
+            return self._eval(fn, expr.value, env)
+        if isinstance(expr, ast.Starred):
+            return self._eval(fn, expr.value, env)
+        if isinstance(expr, ast.NamedExpr):
+            taints = self._eval(fn, expr.value, env)
+            self._assign(expr.target, taints, env)
+            return taints
+        return set()
+
+    def _eval_call(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, set[Taint]],
+    ) -> set[Taint]:
+        source = call_source(call)
+        if source is not None:
+            return {source}
+        out: set[Taint] = set()
+        callee = self.program.callee_of(call)
+        if callee is not None and callee in self._summaries:
+            summary = self._summaries[callee]
+            hop = _short(callee)
+            for taint in summary.returns.values():
+                if taint.kind == _PARAM:
+                    continue
+                if len(taint.via) < _MAX_VIA:
+                    out.add(
+                        Taint(taint.kind, taint.source, (hop,) + taint.via)
+                    )
+                else:
+                    out.add(taint)
+            if summary.param_flows:
+                out |= self._flowing_arguments(fn, call, callee, env)
+            return out
+        parts = chain_of(call.func)
+        if parts is not None and parts[-1] in _PASSTHROUGH:
+            for arg in call.args:
+                out |= self._eval(fn, arg, env)
+            for keyword in call.keywords:
+                out |= self._eval(fn, keyword.value, env)
+            if isinstance(call.func, ast.Attribute):
+                # method style: `"-".join(xs)`, `stamp.isoformat()`
+                out |= self._eval(fn, call.func.value, env)
+        return out
+
+    def _flowing_arguments(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        callee: str,
+        env: dict[str, set[Taint]],
+    ) -> set[Taint]:
+        """Taints of the arguments bound to flow-through parameters."""
+        info = self.program.functions[callee]
+        summary = self._summaries[callee]
+        parameters = [arg.arg for arg in info.node.args.args]
+        offset = 1 if parameters[:1] == ["self"] else 0
+        out: set[Taint] = set()
+        for index, arg in enumerate(call.args):
+            position = index + offset
+            if position < len(parameters) and (
+                parameters[position] in summary.param_flows
+            ):
+                out |= self._eval(fn, arg, env)
+        for keyword in call.keywords:
+            if keyword.arg is None or keyword.arg in summary.param_flows:
+                out |= self._eval(fn, keyword.value, env)
+        return out

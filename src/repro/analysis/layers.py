@@ -1,0 +1,65 @@
+"""The declared layer contract of ``src/repro`` — the single source of truth.
+
+The package tiers, bottom to top.  A module may import from its own tier
+or any tier **below** it; an import that reaches *up* couples a foundation
+to a frontend and is an ``arch-layering`` violation:
+
+* **foundation** — the paper's domain: catalog, text measures, factor
+  graphs, table model, vectorized engines.  Imports nothing above itself.
+* **orchestration** — corpus-scale composition of the foundation:
+  pipelines, query processors, evaluation harnesses.
+* **api** — the one typed surface (``ReproSession``, request/response
+  types, the error taxonomy) every frontend speaks through.
+* **frontends** — process-level shells: the CLI, the HTTP serving tier,
+  and the static-analysis tool itself.
+
+``docs/ARCHITECTURE.md`` mirrors this table for humans;
+``tools/check_docs.py layers`` fails the docs CI job when the two drift.
+The ``arch-layering`` rule (:mod:`repro.analysis.rules.layering`) enforces
+it over the real import graph.
+"""
+
+from __future__ import annotations
+
+#: bottom-to-top tiers: ``(tier name, packages directly under repro/)``
+LAYERS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("foundation", ("catalog", "core", "graph", "tables", "text")),
+    ("orchestration", ("eval", "pipeline", "search")),
+    ("api", ("api",)),
+    ("frontends", ("analysis", "cli", "serve")),
+)
+
+
+def layer_index(module: str) -> int | None:
+    """Tier of a dotted module name (``None`` for non-``repro`` modules).
+
+    The root package and ``__main__`` re-export the API surface for
+    callers, so they sit in the top tier; so does any package not yet
+    declared above (permissive default — the docs check is what forces a
+    new package to be placed deliberately).
+    """
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    head = parts[1] if len(parts) > 1 else ""
+    for index, (_name, packages) in enumerate(LAYERS):
+        if head in packages:
+            return index
+    return len(LAYERS) - 1
+
+
+def layer_name(module: str) -> str | None:
+    index = layer_index(module)
+    return None if index is None else LAYERS[index][0]
+
+
+def contract_lines() -> list[str]:
+    """The canonical one-line-per-tier rendering (bottom first).
+
+    ``docs/ARCHITECTURE.md`` must contain each of these lines verbatim —
+    that is the machine-checked half of the "mirrored in the docs"
+    promise (see ``tools/check_docs.py layers``).
+    """
+    return [
+        f"{name}: {', '.join(packages)}" for name, packages in LAYERS
+    ]

@@ -1,0 +1,587 @@
+"""Whole-program view over one parsed tree.
+
+Built once per lint run from the ``ParsedModule``s under ``src/``:
+
+* a **module map** — file path ↔ dotted module name,
+* an **import graph** whose edges remember whether each import executes at
+  module load (top-level), lazily inside a function, or never
+  (``TYPE_CHECKING``-only),
+* a **symbol table** of classes, methods and top-level functions keyed by
+  qualified name (``repro.serve.pool.WorkerHandle.call``),
+* an approximate **call graph**: call targets resolve through imports,
+  ``self``, annotated parameters, annotated/constructed locals and
+  class attribute types.
+
+Resolution is deliberately best-effort — a call the resolver cannot place
+is simply absent from the graph — but every edge it *does* produce
+corresponds to a real possible call, which is the soundness the
+whole-program rules (layer contract, interprocedural taint, lock
+ordering) need.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import layers
+from repro.analysis.walker import ParsedModule
+
+
+def module_name_for(rel_path: str) -> str | None:
+    """``src/repro/api/session.py`` -> ``repro.api.session``."""
+    if not rel_path.startswith("src/") or not rel_path.endswith(".py"):
+        return None
+    parts = rel_path[len("src/") : -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def chain_of(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` (Name root plus attribute hops) -> ``["a", "b", "c"]``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One ``repro``-internal import, located and classified."""
+
+    importer: str
+    target: str
+    line: int
+    top_level: bool
+    type_checking: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method."""
+
+    qualname: str
+    module: str
+    #: owning class qualname; None for module-level functions
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: parameter name -> class qualname, from annotations the resolver placed
+    param_types: dict[str, str] = field(default_factory=dict)
+    #: class qualname the return annotation names, when it names one
+    return_class: str | None = None
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    #: resolved base qualnames where in-program, bare names otherwise
+    bases: tuple[str, ...] = ()
+    #: method name -> function qualname
+    methods: dict[str, str] = field(default_factory=dict)
+    #: ``self.<attr>`` -> class qualname (from ``__init__`` construction
+    #: sites and annotated assignments)
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+#: env binding kinds: a dotted module, or a class/function symbol
+_MODULE = "module"
+_SYMBOL = "symbol"
+
+
+class Program:
+    """The project-wide symbol table, import graph and call graph."""
+
+    def __init__(self, root: Path, modules: list[ParsedModule]) -> None:
+        self.root = root
+        self.modules: dict[str, ParsedModule] = {}
+        self.module_names: dict[str, str] = {}  # rel_path -> module name
+        self.import_edges: list[ImportEdge] = []
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: id(ast.Call) -> resolved callee function qualname
+        self._call_targets: dict[int, str] = {}
+        self._env: dict[str, dict[str, tuple[str, str]]] = {}
+
+        for module in modules:
+            name = module_name_for(module.rel_path)
+            if name is None or name.split(".")[0] != "repro":
+                continue
+            self.modules[name] = module
+            self.module_names[module.rel_path] = name
+        for name in self.modules:
+            self._collect_symbols(name)
+        for name in self.modules:
+            self._collect_imports(name)
+        for info in self.classes.values():
+            self._resolve_class(info)
+        for info in self.functions.values():
+            self._resolve_signature(info)
+        for info in self.classes.values():
+            self._collect_attr_types(info)
+        for info in self.functions.values():
+            self._resolve_calls(info)
+
+    # ------------------------------------------------------------------
+    # construction passes
+    # ------------------------------------------------------------------
+    def _collect_symbols(self, name: str) -> None:
+        module = self.modules[name]
+        env: dict[str, tuple[str, str]] = {}
+        for statement in module.tree.body:
+            if isinstance(statement, ast.ClassDef):
+                qualname = f"{name}.{statement.name}"
+                info = ClassInfo(qualname=qualname, module=name, node=statement)
+                for child in statement.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        method_qual = f"{qualname}.{child.name}"
+                        info.methods[child.name] = method_qual
+                        self.functions[method_qual] = FunctionInfo(
+                            qualname=method_qual,
+                            module=name,
+                            cls=qualname,
+                            node=child,
+                        )
+                self.classes[qualname] = info
+                env[statement.name] = (_SYMBOL, qualname)
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{name}.{statement.name}"
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname, module=name, cls=None, node=statement
+                )
+                env[statement.name] = (_SYMBOL, qualname)
+        self._env[name] = env
+
+    def _collect_imports(self, name: str) -> None:
+        module = self.modules[name]
+        env = self._env[name]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            top_level = module.enclosing_function(node) is None
+            type_checking = self._under_type_checking(module, node)
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._module_or_prefix(alias.name)
+                    if target is not None:
+                        self.import_edges.append(
+                            ImportEdge(name, target, node.lineno,
+                                       top_level, type_checking)
+                        )
+                    if alias.asname and alias.name in self.modules:
+                        env.setdefault(alias.asname, (_MODULE, alias.name))
+                    elif alias.asname is None:
+                        root_pkg = alias.name.split(".")[0]
+                        if root_pkg in self.modules:
+                            env.setdefault(root_pkg, (_MODULE, root_pkg))
+            else:
+                base = self._import_from_base(name, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    submodule = f"{base}.{alias.name}"
+                    if submodule in self.modules:
+                        env.setdefault(bound, (_MODULE, submodule))
+                        self.import_edges.append(
+                            ImportEdge(name, submodule, node.lineno,
+                                       top_level, type_checking)
+                        )
+                    elif base in self.modules:
+                        env.setdefault(
+                            bound, (_SYMBOL, f"{base}.{alias.name}")
+                        )
+                        self.import_edges.append(
+                            ImportEdge(name, base, node.lineno,
+                                       top_level, type_checking)
+                        )
+
+    def _import_from_base(
+        self, importer: str, node: ast.ImportFrom
+    ) -> str | None:
+        if node.level == 0:
+            return node.module
+        # relative import: ascend from the importer's package
+        parts = importer.split(".")
+        if self.modules[importer].rel_path.endswith("__init__.py"):
+            parts = parts[: len(parts) - (node.level - 1)]
+        else:
+            parts = parts[: len(parts) - node.level]
+        if not parts:
+            return None
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts)
+
+    def _module_or_prefix(self, dotted: str) -> str | None:
+        """The longest prefix of ``dotted`` that is an in-program module."""
+        parts = dotted.split(".")
+        for k in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:k])
+            if prefix in self.modules:
+                return prefix
+        return None
+
+    def _under_type_checking(
+        self, module: ParsedModule, node: ast.AST
+    ) -> bool:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.If):
+                test = ancestor.test
+                chain = chain_of(test) if not isinstance(test, ast.Constant) else None
+                if chain and chain[-1] == "TYPE_CHECKING":
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve_chain(
+        self, module: str, parts: list[str]
+    ) -> tuple[str, str] | None:
+        """``(kind, dotted)`` for a name chain seen from ``module``.
+
+        Kind is ``"module"`` or ``"symbol"``; symbols are class, method or
+        function qualnames.  Tries the chain as a fully-dotted module path
+        first (``repro.serve.bundle.load_bundle`` works without knowing
+        the import that bound it), then the module's import/def bindings.
+        """
+        if not parts:
+            return None
+        for k in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:k])
+            if prefix in self.modules:
+                return self._descend_module(prefix, parts[k:])
+        binding = self._env.get(module, {}).get(parts[0])
+        if binding is None:
+            return None
+        kind, target = binding
+        if kind == _MODULE:
+            return self._descend_module(target, parts[1:])
+        return self._descend_symbol(target, parts[1:])
+
+    def _descend_module(
+        self, module: str, rest: list[str]
+    ) -> tuple[str, str] | None:
+        if not rest:
+            return (_MODULE, module)
+        submodule = f"{module}.{rest[0]}"
+        if submodule in self.modules:
+            return self._descend_module(submodule, rest[1:])
+        binding = self._env.get(module, {}).get(rest[0])
+        if binding is not None and binding[0] == _MODULE:
+            return self._descend_module(binding[1], rest[1:])
+        return self._descend_symbol(f"{module}.{rest[0]}", rest[1:])
+
+    def _descend_symbol(
+        self, qualname: str, rest: list[str]
+    ) -> tuple[str, str] | None:
+        if not rest:
+            if qualname in self.classes or qualname in self.functions:
+                return (_SYMBOL, qualname)
+            # re-exported name we did not index (constant, alias): unknown
+            return None
+        if qualname in self.classes:
+            method = self.method_on(qualname, rest[0])
+            if method is not None and len(rest) == 1:
+                return (_SYMBOL, method)
+        return None
+
+    def resolve_symbol(self, module: str, node: ast.AST) -> str | None:
+        """The class/function qualname a Name/Attribute expression names."""
+        parts = chain_of(node)
+        if parts is None:
+            return None
+        resolved = self.resolve_chain(module, parts)
+        if resolved is not None and resolved[0] == _SYMBOL:
+            return resolved[1]
+        return None
+
+    def method_on(self, class_qualname: str, name: str) -> str | None:
+        """Method lookup walking in-program base classes breadth-first."""
+        seen: set[str] = set()
+        queue = [class_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            queue.extend(base for base in info.bases if base in self.classes)
+        return None
+
+    def is_subclass_of(self, class_qualname: str, ancestors: set[str]) -> bool:
+        """Does the class's base chain (bare names included) hit the set?"""
+        seen: set[str] = set()
+        queue = [class_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in ancestors:
+                return True
+            info = self.classes.get(current)
+            if info is not None:
+                queue.extend(info.bases)
+        return False
+
+    def _annotation_class(
+        self, module: str, annotation: ast.AST | None
+    ) -> str | None:
+        """The in-program class an annotation names, unwrapping
+        ``Optional[X]`` / ``X | None`` / string annotations."""
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.Subscript):
+            base = chain_of(annotation.value)
+            if base and base[-1] == "Optional":
+                return self._annotation_class(module, annotation.slice)
+            return None
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            for side in (annotation.left, annotation.right):
+                if isinstance(side, ast.Constant) and side.value is None:
+                    continue
+                resolved = self._annotation_class(module, side)
+                if resolved is not None:
+                    return resolved
+            return None
+        resolved = self.resolve_symbol(module, annotation)
+        if resolved is not None and resolved in self.classes:
+            return resolved
+        return None
+
+    # ------------------------------------------------------------------
+    # type-ish passes
+    # ------------------------------------------------------------------
+    def _resolve_class(self, info: ClassInfo) -> None:
+        bases: list[str] = []
+        for base in info.node.bases:
+            parts = chain_of(base)
+            if parts is None:
+                continue
+            resolved = self.resolve_chain(info.module, parts)
+            if resolved is not None and resolved[0] == _SYMBOL:
+                bases.append(resolved[1])
+            else:
+                bases.append(parts[-1])
+        info.bases = tuple(bases)
+
+    def _resolve_signature(self, info: FunctionInfo) -> None:
+        arguments = info.node.args
+        for arg in [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]:
+            resolved = self._annotation_class(info.module, arg.annotation)
+            if resolved is not None:
+                info.param_types[arg.arg] = resolved
+        info.return_class = self._annotation_class(
+            info.module, info.node.returns
+        )
+        if info.cls is not None and info.node.name == "__init__":
+            info.return_class = info.cls
+
+    def _collect_attr_types(self, info: ClassInfo) -> None:
+        for node in ast.walk(info.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                resolved = self._annotation_class(info.module, node.annotation)
+                if (
+                    resolved is not None
+                    and isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    info.attr_types.setdefault(target.attr, resolved)
+                continue
+            if (
+                target is None
+                or not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+                or not isinstance(value, ast.Call)
+            ):
+                continue
+            constructed = self._value_class(info.module, value, {})
+            if constructed is not None:
+                info.attr_types.setdefault(target.attr, constructed)
+
+    def _value_class(
+        self, module: str, value: ast.Call, local_types: dict[str, str]
+    ) -> str | None:
+        """The class an expression's value is an instance of, if knowable."""
+        resolved = self._resolve_call_target(
+            module, None, value, local_types
+        )
+        if resolved is None:
+            return None
+        if resolved in self.classes:
+            return resolved
+        function = self.functions.get(resolved)
+        if function is not None:
+            return function.return_class
+        return None
+
+    # ------------------------------------------------------------------
+    # call graph
+    # ------------------------------------------------------------------
+    def _local_types(self, info: FunctionInfo) -> dict[str, str]:
+        local_types = dict(info.param_types)
+        if info.cls is not None:
+            local_types.setdefault("self", info.cls)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                resolved = self._annotation_class(info.module, node.annotation)
+                if resolved is not None:
+                    local_types[node.target.id] = resolved
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                constructed = self._value_class(
+                    info.module, node.value, local_types
+                )
+                if constructed is not None:
+                    local_types[node.targets[0].id] = constructed
+        return local_types
+
+    def _resolve_call_target(
+        self,
+        module: str,
+        cls: str | None,
+        call: ast.Call,
+        local_types: dict[str, str],
+    ) -> str | None:
+        """The qualname (class or function) a call invokes, or None."""
+        parts = chain_of(call.func)
+        if parts is None:
+            return None
+        root = parts[0]
+        # object-typed roots: self / annotated params / constructed locals
+        if root in local_types and len(parts) >= 2:
+            owner: str | None = local_types[root]
+            for attr in parts[1:-1]:
+                owner = self.classes[owner].attr_types.get(attr) if (
+                    owner in self.classes
+                ) else None
+                if owner is None:
+                    return None
+            if owner is not None and owner in self.classes:
+                return self.method_on(owner, parts[-1])
+            return None
+        resolved = self.resolve_chain(module, parts)
+        if resolved is not None and resolved[0] == _SYMBOL:
+            return resolved[1]
+        return None
+
+    def _resolve_calls(self, info: FunctionInfo) -> None:
+        local_types = self._local_types(info)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve_call_target(
+                info.module, info.cls, node, local_types
+            )
+            if resolved is None:
+                continue
+            if resolved in self.classes:
+                # calling a class is calling its constructor
+                resolved = self.classes[resolved].methods.get(
+                    "__init__", resolved
+                )
+            self._call_targets[id(node)] = resolved
+
+    def callee_of(self, call: ast.Call) -> str | None:
+        """The resolved target of one call node (function/class qualname)."""
+        return self._call_targets.get(id(call))
+
+    def calls_in(
+        self, info: FunctionInfo
+    ) -> list[tuple[ast.Call, str | None]]:
+        return [
+            (node, self._call_targets.get(id(node)))
+            for node in ast.walk(info.node)
+            if isinstance(node, ast.Call)
+        ]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The CI graph artifact: modules, import edges, call edges."""
+        calls = []
+        for info in sorted(self.functions.values(), key=lambda f: f.qualname):
+            for node, callee in self.calls_in(info):
+                if callee is not None:
+                    calls.append(
+                        {
+                            "from": info.qualname,
+                            "to": callee,
+                            "line": node.lineno,
+                        }
+                    )
+        return {
+            "version": 1,
+            "modules": [
+                {
+                    "name": name,
+                    "path": self.modules[name].rel_path,
+                    "layer": layers.layer_name(name),
+                }
+                for name in sorted(self.modules)
+            ],
+            "imports": [
+                {
+                    "from": edge.importer,
+                    "to": edge.target,
+                    "line": edge.line,
+                    "top_level": edge.top_level,
+                    "type_checking": edge.type_checking,
+                }
+                for edge in sorted(
+                    set(self.import_edges),
+                    key=lambda e: (e.importer, e.target, e.line),
+                )
+            ],
+            "calls": calls,
+        }
+
+
+def build_program(root: Path, modules: list[ParsedModule]) -> Program:
+    """The whole-program view over the ``src/`` subset of ``modules``."""
+    return Program(root, [m for m in modules if m.rel_path.startswith("src/")])

@@ -10,9 +10,12 @@ plus an import in :func:`all_rules`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, Protocol, Type
+from typing import TYPE_CHECKING, Iterable, Protocol, Type, Union
 
 from repro.analysis.walker import ParsedModule
+
+if TYPE_CHECKING:
+    from repro.analysis.program import Program
 
 SEVERITIES = ("error", "warning")
 
@@ -53,7 +56,7 @@ class Finding:
 
 
 class Rule(Protocol):
-    """What every rule class provides (see module docstring)."""
+    """A per-module rule (see module docstring)."""
 
     rule_id: str
     severity: str
@@ -63,6 +66,18 @@ class Rule(Protocol):
 
     def check(self, module: ParsedModule) -> Iterable[Finding]: ...
 
+
+class ProgramRule(Protocol):
+    """A whole-program rule: sees the import/call graph, not one module."""
+
+    rule_id: str
+    severity: str
+    description: str
+
+    def check_program(self, program: "Program") -> Iterable[Finding]: ...
+
+
+AnyRule = Union[Rule, ProgramRule]
 
 _REGISTRY: dict[str, Type] = {}
 
@@ -92,13 +107,18 @@ def register(cls: Type) -> Type:
     return cls
 
 
-def all_rules() -> list[Rule]:
+def all_rules() -> list[AnyRule]:
     """One instance of every registered rule, in stable rule-id order."""
     # importing the rule modules populates the registry
     from repro.analysis.rules import (  # noqa: F401
+        config_knobs,
         determinism,
+        exc_contract,
+        layering,
+        lock_order,
         locks,
         numpy_contracts,
+        taint,
         wire_schema,
     )
 

@@ -1,0 +1,113 @@
+"""Config-knob drift: every tunable must be reachable and documented.
+
+A field added to :class:`SessionConfig` / :class:`ServeConfig` but never
+wired to a CLI flag is dead weight at best — operators cannot set it — and
+a silent fork of the config surface at worst.  One field, three places:
+
+* the dataclass field (``repro/api/config.py``),
+* a ``--flag`` in ``repro/cli.py`` (underscores become dashes; a
+  ``_seconds`` suffix may be dropped, matching the existing flags),
+* a mention in ``docs/OPERATIONS.md`` (the operator-facing reference).
+
+Only scalar (``int``/``float``/``str``/``bool``) fields participate —
+nested config objects are composed, not flag-mapped.  The rule is inert
+when the tree has no ``repro.api.config`` + ``repro.cli`` pair, so
+unrelated fixtures stay quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.program import Program
+from repro.analysis.registry import Finding, register
+
+_CONFIG_MODULE = "repro.api.config"
+_CLI_MODULE = "repro.cli"
+_OPERATIONS_DOC = "docs/OPERATIONS.md"
+_CONFIG_CLASSES = ("SessionConfig", "ServeConfig")
+_SCALARS = frozenset({"int", "float", "str", "bool"})
+
+
+def _scalar_fields(
+    program: Program, class_name: str
+) -> Iterator[tuple[str, ast.AnnAssign]]:
+    info = program.classes.get(f"{_CONFIG_MODULE}.{class_name}")
+    if info is None:
+        return
+    for statement in info.node.body:
+        if (
+            isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and isinstance(statement.annotation, ast.Name)
+            and statement.annotation.id in _SCALARS
+        ):
+            yield statement.target.id, statement
+
+
+def _flags_for(field_name: str) -> tuple[str, ...]:
+    """Acceptable CLI spellings: full, and with ``_seconds`` dropped."""
+    full = "--" + field_name.replace("_", "-")
+    if field_name.endswith("_seconds"):
+        return (full, "--" + field_name[: -len("_seconds")].replace("_", "-"))
+    return (full,)
+
+
+def _string_constants(tree: ast.Module) -> set[str]:
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def _mentioned(text: str, field_name: str, flags: tuple[str, ...]) -> bool:
+    if any(flag in text for flag in flags):
+        return True
+    return re.search(rf"(?<![a-z_]){field_name}(?![a-z_])", text) is not None
+
+
+@register
+class ConfigKnobDriftRule:
+    rule_id = "config-knob-drift"
+    severity = "error"
+    description = (
+        "a scalar SessionConfig/ServeConfig field with no CLI flag or "
+        "no docs/OPERATIONS.md mention — operators cannot set or "
+        "discover it; wire the flag and document the knob"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        cli = program.modules.get(_CLI_MODULE)
+        config = program.modules.get(_CONFIG_MODULE)
+        if cli is None or config is None:
+            return
+        flags_in_cli = _string_constants(cli.tree)
+        doc_path = program.root / _OPERATIONS_DOC
+        doc_text = doc_path.read_text() if doc_path.is_file() else None
+        for class_name in _CONFIG_CLASSES:
+            for field_name, statement in _scalar_fields(program, class_name):
+                flags = _flags_for(field_name)
+                missing: list[str] = []
+                if not any(flag in flags_in_cli for flag in flags):
+                    missing.append(f"CLI flag {flags[-1]}")
+                if doc_text is not None and not _mentioned(
+                    doc_text, field_name, flags
+                ):
+                    missing.append(f"a mention in {_OPERATIONS_DOC}")
+                if not missing:
+                    continue
+                yield Finding(
+                    rel_path=config.rel_path,
+                    line=statement.lineno,
+                    col=statement.col_offset,
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"{class_name}.{field_name} is missing "
+                        + " and ".join(missing)
+                        + " — the knob is unreachable/undiscoverable"
+                    ),
+                ).with_context(config)

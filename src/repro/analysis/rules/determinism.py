@@ -3,20 +3,21 @@
 The whole reproduction is built on "same input, same bytes out" — the
 engines are proven equivalent by byte-comparison, bundle caches are
 content-addressed, and the planner must produce the same plan for the same
-corpus on every run.  Three ways that property silently dies:
+corpus on every run.  Two per-module ways that property silently dies:
 
 * an **unseeded random source** (module-level ``random.*`` or legacy
   ``np.random.*``) varies per process,
-* **wall clock** (``time.time`` / ``datetime.now``) flowing into a cache
-  key, signature or fingerprint makes content-addressing meaningless,
 * **unordered iteration** in the planning / fused hot paths makes bucket
   and block construction depend on insertion history rather than content.
+
+Wall clock flowing into identities is the interprocedural
+``det-taint-interproc`` rule (see :mod:`repro.analysis.rules.taint`),
+which replaced the old lexical ``det-wallclock-key`` heuristic.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from typing import Iterable
 
 from repro.analysis.registry import Finding, register
@@ -64,22 +65,6 @@ _NP_RANDOM_FNS = frozenset(
         "normal",
     }
 )
-
-#: wall-clock reading calls: (module-ish value name, attribute)
-_WALL_CLOCK = frozenset(
-    {
-        ("time", "time"),
-        ("time", "time_ns"),
-        ("datetime", "now"),
-        ("datetime", "utcnow"),
-        ("date", "today"),
-    }
-)
-
-#: a function or call whose name matches this builds an identity that must
-#: be a pure function of content
-_KEYISH = re.compile(r"key|signature|fingerprint|cache", re.IGNORECASE)
-_KEYISH_CALL = re.compile(r"key|signature|fingerprint|hash", re.IGNORECASE)
 
 #: the hot planning / fused-execution modules held to content-ordering
 _ORDER_SENSITIVE_MODULES = (
@@ -169,61 +154,6 @@ class UnseededRandomRule:
             severity=self.severity,
             message=f"{detail} — annotation output must be seed-deterministic",
         ).with_context(module)
-
-
-@register
-class WallClockKeyRule:
-    rule_id = "det-wallclock-key"
-    severity = "error"
-    description = (
-        "wall clock (time.time / datetime.now) flowing into a cache key, "
-        "signature or fingerprint breaks content addressing"
-    )
-
-    def applies_to(self, rel_path: str) -> bool:
-        return rel_path.startswith("src/repro/")
-
-    def check(self, module: ParsedModule) -> Iterable[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            if not isinstance(func, ast.Attribute) or not isinstance(
-                func.value, ast.Name
-            ):
-                continue
-            if (func.value.id, func.attr) not in _WALL_CLOCK:
-                continue
-            sink = self._keyish_sink(module, node)
-            if sink is None:
-                continue
-            yield Finding(
-                rel_path=module.rel_path,
-                line=node.lineno,
-                col=node.col_offset,
-                rule_id=self.rule_id,
-                severity=self.severity,
-                message=(
-                    f"{func.value.id}.{func.attr}() flows into {sink} — "
-                    f"keys/signatures must be pure functions of content, "
-                    f"never of the clock"
-                ),
-            ).with_context(module)
-
-    def _keyish_sink(
-        self, module: ParsedModule, node: ast.Call
-    ) -> str | None:
-        """Where this clock read lands, if that place builds an identity."""
-        for ancestor in module.ancestors(node):
-            if isinstance(ancestor, ast.Call) and ancestor is not node:
-                name = _call_name(ancestor)
-                if name and _KEYISH_CALL.search(name):
-                    return f"a call to {name}()"
-            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if _KEYISH.search(ancestor.name):
-                    return f"function {ancestor.name}()"
-                return None  # an ordinary function: clock reads are fine
-        return None
 
 
 @register

@@ -1,0 +1,255 @@
+"""Exception contract of the API boundary.
+
+Everything raised under ``api/`` and ``serve/`` eventually crosses
+:func:`repro.api.errors.to_api_error`, which classifies known exception
+families into stable wire codes and turns the rest into the opaque
+``internal_error``.  A deliberate ``raise`` that falls through to the
+fallback is a latent wire-contract bug: the client sees a 500 with no
+actionable code for a failure the server understood perfectly well.
+
+Both rules read the taxonomy out of the *analyzed tree's own*
+``repro/api/errors.py`` (constants, ``HTTP_STATUS`` keys and the
+``isinstance`` chain inside ``to_api_error``) so fixtures carry their own
+taxonomy and the rules go inert when the module is absent.
+
+* ``exc-unclassified`` (error) — a ``raise SomeError(...)`` under
+  ``api/``/``serve/`` whose class neither subclasses ``ApiError`` nor
+  matches any ``isinstance`` branch of ``to_api_error``.
+* ``exc-unknown-code`` (error) — a string literal used as an error code
+  (``ApiError("...", ...)`` / ``code="..."``) that is not a registered
+  taxonomy code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.analysis.program import Program, chain_of
+from repro.analysis.registry import Finding, register
+
+_ERRORS_MODULE = "repro.api.errors"
+_SCOPE_PREFIXES = ("src/repro/api/", "src/repro/serve/")
+
+#: raises that are control flow / programmer contracts, not API failures
+_EXEMPT_BUILTINS = frozenset(
+    {
+        "NotImplementedError",
+        "SystemExit",
+        "KeyboardInterrupt",
+        "StopIteration",
+        "AssertionError",
+    }
+)
+
+
+@dataclass
+class _Taxonomy:
+    """What ``repro/api/errors.py`` declares, read from its AST."""
+
+    #: constant name -> code string (``WORKER_FAILED`` -> ``worker_failed``)
+    constants: dict[str, str] = field(default_factory=dict)
+    #: the registered wire codes (``HTTP_STATUS`` keys)
+    codes: set[str] = field(default_factory=set)
+    #: classified ancestors: qualnames for in-program classes,
+    #: bare names for builtins (``FileNotFoundError``)
+    classified: set[str] = field(default_factory=set)
+
+
+def _load_taxonomy(program: Program) -> _Taxonomy | None:
+    module = program.modules.get(_ERRORS_MODULE)
+    if module is None:
+        return None
+    taxonomy = _Taxonomy()
+    for statement in module.tree.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+            and isinstance(statement.value, ast.Constant)
+            and isinstance(statement.value.value, str)
+        ):
+            taxonomy.constants[statement.targets[0].id] = statement.value.value
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                code = _code_of(key, taxonomy.constants)
+                if code is not None:
+                    taxonomy.codes.add(code)
+    # ApiError and its subclasses classify themselves
+    api_error = f"{_ERRORS_MODULE}.ApiError"
+    if api_error in program.classes:
+        taxonomy.classified.add(api_error)
+    to_api_error = program.functions.get(f"{_ERRORS_MODULE}.to_api_error")
+    if to_api_error is not None:
+        for call in ast.walk(to_api_error.node):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id == "isinstance"
+                and len(call.args) == 2
+            ):
+                continue
+            checks = call.args[1]
+            exprs = checks.elts if isinstance(checks, ast.Tuple) else [checks]
+            for expr in exprs:
+                parts = chain_of(expr)
+                if parts is None:
+                    continue
+                resolved = program.resolve_symbol(_ERRORS_MODULE, expr)
+                taxonomy.classified.add(
+                    resolved if resolved is not None else parts[-1]
+                )
+    return taxonomy
+
+
+def _code_of(node: ast.expr | None, constants: dict[str, str]) -> str | None:
+    """The code string an expression denotes, when statically known."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    parts = chain_of(node) if node is not None else None
+    if parts is not None and parts[-1] in constants:
+        return constants[parts[-1]]
+    return None
+
+
+def _in_scope(program: Program) -> Iterator[str]:
+    for name in sorted(program.modules):
+        if program.modules[name].rel_path.startswith(_SCOPE_PREFIXES):
+            yield name
+
+
+@register
+class UnclassifiedRaiseRule:
+    rule_id = "exc-unclassified"
+    severity = "error"
+    description = (
+        "an exception raised under api/ or serve/ that to_api_error "
+        "cannot classify — it surfaces as an opaque internal_error; "
+        "raise a taxonomy-mapped class or teach to_api_error about it"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        taxonomy = _load_taxonomy(program)
+        if taxonomy is None:
+            return
+        for module_name in _in_scope(program):
+            module = program.modules[module_name]
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                raised = self._raised_class(program, module_name, node.exc)
+                if raised is None:
+                    continue  # re-raised variable, dynamic expression
+                if self._classified(program, taxonomy, raised):
+                    continue
+                yield Finding(
+                    rel_path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    message=(
+                        f"raise {raised.split('.')[-1]} is not classified "
+                        f"by to_api_error — clients get a bare "
+                        f"internal_error; map it to a taxonomy code or "
+                        f"raise an ApiError subclass"
+                    ),
+                ).with_context(module)
+
+    def _raised_class(
+        self, program: Program, module_name: str, exc: ast.expr
+    ) -> str | None:
+        """Qualname/builtin name of the raised class, or None to skip."""
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        parts = chain_of(target)
+        if parts is None:
+            return None
+        resolved = program.resolve_symbol(module_name, target)
+        if resolved is not None:
+            # ``raise make_error(...)``: judge the factory's return type
+            factory = program.functions.get(resolved)
+            if factory is not None:
+                return factory.return_class  # None (unknown) -> skip
+            return resolved
+        name = parts[-1]
+        # a bare capitalised name that resolves nowhere: builtin exception
+        # (`raise ValueError(...)`); a lowercase name is a variable re-raise
+        if len(parts) == 1 and name[:1].isupper():
+            return name
+        return None
+
+    def _classified(
+        self, program: Program, taxonomy: _Taxonomy, raised: str
+    ) -> bool:
+        if raised in _EXEMPT_BUILTINS:
+            return True
+        if raised in taxonomy.classified:
+            return True
+        if raised in program.classes:
+            return program.is_subclass_of(raised, taxonomy.classified)
+        # builtin: classified only if to_api_error names it (or a base
+        # builtin we can see lexically — FileNotFoundError is an OSError,
+        # but to_api_error checks the subclass, so match by name only)
+        return False
+
+
+@register
+class UnknownCodeRule:
+    rule_id = "exc-unknown-code"
+    severity = "error"
+    description = (
+        "a string used as a wire error code that HTTP_STATUS does not "
+        "register — clients cannot branch on it and the status falls "
+        "back to 500; add it to the taxonomy or use an existing code"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        taxonomy = _load_taxonomy(program)
+        if taxonomy is None or not taxonomy.codes:
+            return
+        for module_name in _in_scope(program):
+            module = program.modules[module_name]
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for code, site in self._code_literals(program, node):
+                    if code in taxonomy.codes:
+                        continue
+                    yield Finding(
+                        rel_path=module.rel_path,
+                        line=site.lineno,
+                        col=site.col_offset,
+                        rule_id=self.rule_id,
+                        severity=self.severity,
+                        message=(
+                            f"error code {code!r} is not registered in "
+                            f"the taxonomy (repro/api/errors.py "
+                            f"HTTP_STATUS) — clients cannot branch on it"
+                        ),
+                    ).with_context(module)
+
+    def _code_literals(
+        self, program: Program, call: ast.Call
+    ) -> Iterator[tuple[str, ast.expr]]:
+        """``(code, expr)`` for statically-known codes fed to this call."""
+        parts = chain_of(call.func)
+        if parts is None:
+            return
+        name = parts[-1]
+        is_api_error = name == "ApiError" or name.endswith("Envelope")
+        for keyword in call.keywords:
+            if keyword.arg == "code":
+                literal = self._literal(keyword.value)
+                if literal is not None:
+                    yield literal, keyword.value
+        if is_api_error and call.args:
+            literal = self._literal(call.args[0])
+            if literal is not None:
+                yield literal, call.args[0]
+
+    def _literal(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None

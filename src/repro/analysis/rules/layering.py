@@ -1,0 +1,170 @@
+"""Architecture layering: the declared layer contract over the import graph.
+
+:mod:`repro.analysis.layers` declares the tiers (foundation <
+orchestration < api < frontends).  Two rules enforce it project-wide:
+
+* ``arch-layering`` — no module imports from a tier above its own.
+  ``TYPE_CHECKING``-only imports are exempt (erased at runtime); lazy
+  function-local imports still count — they are runtime coupling, just
+  deferred — but are exactly what a justified suppression is for when the
+  upward dependency is deliberate (e.g. the API's lazy use of the
+  serve-owned bundle format).
+* ``arch-import-cycle`` — no cycle among *load-time* imports.  Lazy
+  imports are excluded here: breaking a load-time cycle by deferring one
+  edge is the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis import layers
+from repro.analysis.program import ImportEdge, Program
+from repro.analysis.registry import Finding, register
+
+
+def _finding_for_edge(
+    program: Program, rule_id: str, severity: str, edge: ImportEdge, message: str
+) -> Finding:
+    module = program.modules[edge.importer]
+    return Finding(
+        rel_path=module.rel_path,
+        line=edge.line,
+        col=0,
+        rule_id=rule_id,
+        severity=severity,
+        message=message,
+    )
+
+
+@register
+class LayerContractRule:
+    rule_id = "arch-layering"
+    severity = "error"
+    description = (
+        "import reaches UP the declared layer contract "
+        "(foundation < orchestration < api < frontends; see "
+        "analysis/layers.py and docs/ARCHITECTURE.md)"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        for edge in sorted(
+            set(program.import_edges),
+            key=lambda e: (e.importer, e.line, e.target),
+        ):
+            if edge.type_checking:
+                continue
+            from_tier = layers.layer_index(edge.importer)
+            to_tier = layers.layer_index(edge.target)
+            if from_tier is None or to_tier is None or to_tier <= from_tier:
+                continue
+            kind = "imports" if edge.top_level else "lazily imports"
+            yield _finding_for_edge(
+                program,
+                self.rule_id,
+                self.severity,
+                edge,
+                f"{edge.importer} ({layers.LAYERS[from_tier][0]}) {kind} "
+                f"{edge.target} ({layers.LAYERS[to_tier][0]}) — lower "
+                f"layers must not depend on higher ones",
+            )
+
+
+@register
+class ImportCycleRule:
+    rule_id = "arch-import-cycle"
+    severity = "error"
+    description = (
+        "cycle among load-time imports — modules in the cycle cannot be "
+        "imported independently; defer one edge or move the shared piece "
+        "down a layer"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        graph: dict[str, dict[str, ImportEdge]] = {}
+        for edge in program.import_edges:
+            if not edge.top_level or edge.type_checking:
+                continue
+            if edge.importer == edge.target:
+                continue
+            graph.setdefault(edge.importer, {}).setdefault(edge.target, edge)
+        seen: set[frozenset[str]] = set()
+        for component in _strongly_connected(graph):
+            if len(component) < 2:
+                continue
+            key = frozenset(component)
+            if key in seen:
+                continue
+            seen.add(key)
+            members = sorted(component)
+            # anchor at the lexically first edge inside the cycle
+            edges = [
+                edge
+                for importer in members
+                for target, edge in graph.get(importer, {}).items()
+                if target in key
+            ]
+            anchor = min(
+                edges, key=lambda e: (program.modules[e.importer].rel_path, e.line)
+            )
+            yield _finding_for_edge(
+                program,
+                self.rule_id,
+                self.severity,
+                anchor,
+                "load-time import cycle: " + " -> ".join(members + members[:1]),
+            )
+
+
+def _strongly_connected(
+    graph: dict[str, dict[str, ImportEdge]]
+) -> list[list[str]]:
+    """Tarjan's SCC, iterative (deterministic order)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+    nodes = sorted(set(graph) | {t for targets in graph.values() for t in targets})
+
+    for start in nodes:
+        if start in index:
+            continue
+        work: list[tuple[str, Iterable[str]]] = [
+            (start, iter(sorted(graph.get(start, {}))))
+        ]
+        index[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, {})))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

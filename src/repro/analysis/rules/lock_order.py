@@ -1,0 +1,467 @@
+"""Lock ordering and hold-and-wait across the serving tier.
+
+Builds, for every class under ``serve/`` and ``api/``, a lock-acquisition
+graph whose nodes are ``Class.lock_attr`` pairs.  Edges come from three
+places:
+
+* lexical nesting: ``with self._a:`` containing ``with self._b:``,
+* explicit acquires under a held lock: ``self._b.acquire()``,
+* resolved method calls under a held lock — the callee's (transitively
+  computed) acquisition set hangs off every lock held at the call site,
+  including calls that cross classes through annotated locals/params.
+
+Two rules read the graph:
+
+* ``lock-order-cycle`` (error) — a cycle means two threads can take the
+  same locks in opposite orders: the classic ABBA deadlock.  A self-edge
+  on a non-reentrant ``Lock`` is the one-thread special case.
+* ``lock-order-hold-wait`` (warning) — a blocking wait (pipe ``recv`` /
+  ``poll``, semaphore/queue ``acquire``/``get`` with a timeout, process
+  ``join``, ...) executed while holding a lock stalls every thread that
+  needs the lock for the full wait.  Sound cases (the blocked-on party
+  never takes the lock) are what justified suppressions are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dataclass_field
+from typing import Iterable, Iterator
+
+from repro.analysis.program import FunctionInfo, Program, chain_of
+from repro.analysis.registry import Finding, register
+from repro.analysis.rules.locks import _is_lock_constructor, _self_attr
+from repro.analysis.walker import ParsedModule
+
+#: modules whose classes participate in the lock graph
+_SCOPE_PREFIXES = ("src/repro/serve/", "src/repro/api/")
+
+#: method names that block the calling thread
+_BLOCKING_ALWAYS = frozenset({"recv", "recv_bytes", "poll", "join", "wait"})
+#: block only when called with a timeout/block keyword (else they are
+#: usually dict.get / non-blocking acquires we cannot distinguish)
+_BLOCKING_WITH_TIMEOUT = frozenset({"get", "acquire"})
+
+_REENTRANT = frozenset({"RLock"})
+
+
+def _lock_kind(value: ast.expr) -> str | None:
+    """``Lock`` / ``RLock`` for a lock-constructor expression."""
+    if not _is_lock_constructor(value):
+        return None
+    func = value.func if isinstance(value, ast.Call) else None
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+LockNode = tuple[str, str]  # (class qualname, lock attr)
+
+
+def _node_label(node: LockNode) -> str:
+    return f"{node[0].split('.')[-1]}.{node[1]}"
+
+
+@dataclass
+class _MethodFacts:
+    """Lexically extracted lock behaviour of one method."""
+
+    #: locks taken anywhere in the method body (with-blocks and .acquire())
+    acquires: set[LockNode] = dataclass_field(default_factory=set)
+    #: (held lock, acquired lock, line) from lexical nesting / acquire calls
+    edges: list[tuple[LockNode, LockNode, int]] = dataclass_field(
+        default_factory=list
+    )
+    #: (call node, resolved callee, held locks at the call)
+    calls: list[tuple[ast.Call, str | None, tuple[LockNode, ...]]] = (
+        dataclass_field(default_factory=list)
+    )
+    #: human descriptions of direct blocking waits (held or not)
+    blocking: set[str] = dataclass_field(default_factory=set)
+
+
+class _LockGraphBuilder:
+    """Shared extraction for both lock rules (built once per program)."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: lock attr -> Lock/RLock, per scoped class
+        self.class_locks: dict[str, dict[str, str]] = {}
+        self.method_facts: dict[str, _MethodFacts] = {}
+        #: transitive acquisition set per method (fixpoint)
+        self.method_acquires: dict[str, set[LockNode]] = {}
+        #: transitive blocking descriptions per method (fixpoint)
+        self.method_blocks: dict[str, set[str]] = {}
+        self._build()
+
+    def _scoped_classes(self) -> list[str]:
+        out = []
+        for qualname, info in self.program.classes.items():
+            rel_path = self.program.modules[info.module].rel_path
+            if rel_path.startswith(_SCOPE_PREFIXES):
+                out.append(qualname)
+        return sorted(out)
+
+    def _build(self) -> None:
+        for class_qualname in self._scoped_classes():
+            info = self.program.classes[class_qualname]
+            locks: dict[str, str] = {}
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Assign):
+                    kind = _lock_kind(node.value)
+                    if kind is None:
+                        continue
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            locks[attr] = kind
+            self.class_locks[class_qualname] = locks
+            for method_qual in info.methods.values():
+                fn = self.program.functions[method_qual]
+                self.method_facts[method_qual] = self._scan_method(fn, locks)
+        self._fixpoint()
+
+    # ------------------------------------------------------------------
+    # lexical scan
+    # ------------------------------------------------------------------
+    def _scan_method(
+        self, fn: FunctionInfo, locks: dict[str, str]
+    ) -> _MethodFacts:
+        facts = _MethodFacts()
+        assert fn.cls is not None
+        self._scan_block(fn, fn.cls, locks, fn.node.body, (), facts)
+        return facts
+
+    def _scan_block(
+        self,
+        fn: FunctionInfo,
+        cls: str,
+        locks: dict[str, str],
+        statements: list[ast.stmt],
+        held: tuple[LockNode, ...],
+        facts: _MethodFacts,
+    ) -> None:
+        for statement in statements:
+            self._scan_statement(fn, cls, locks, statement, held, facts)
+
+    def _scan_statement(
+        self,
+        fn: FunctionInfo,
+        cls: str,
+        locks: dict[str, str],
+        statement: ast.stmt,
+        held: tuple[LockNode, ...],
+        facts: _MethodFacts,
+    ) -> None:
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            acquired: list[LockNode] = []
+            for item in statement.items:
+                self._scan_expr(fn, cls, locks, item.context_expr, held, facts)
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr in locks:
+                    node = (cls, attr)
+                    self._record_acquire(
+                        facts, held, node, statement.lineno
+                    )
+                    acquired.append(node)
+            inner = held + tuple(acquired)
+            self._scan_block(fn, cls, locks, statement.body, inner, facts)
+            return
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs run later, under their own discipline
+        # every expression in the statement sees the current held set
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                self._scan_expr(fn, cls, locks, child, held, facts)
+            elif isinstance(child, ast.stmt):
+                self._scan_statement(fn, cls, locks, child, held, facts)
+            elif isinstance(child, ast.excepthandler):
+                assert isinstance(child, ast.ExceptHandler)
+                self._scan_block(fn, cls, locks, child.body, held, facts)
+            elif isinstance(child, ast.withitem):  # pragma: no cover
+                self._scan_expr(
+                    fn, cls, locks, child.context_expr, held, facts
+                )
+
+    def _scan_expr(
+        self,
+        fn: FunctionInfo,
+        cls: str,
+        locks: dict[str, str],
+        expr: ast.expr,
+        held: tuple[LockNode, ...],
+        facts: _MethodFacts,
+    ) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = chain_of(node.func)
+            name = parts[-1] if parts else ""
+            # self.<lock>.acquire(): an ordering acquisition, not a wait
+            if (
+                name == "acquire"
+                and parts is not None
+                and len(parts) == 3
+                and parts[0] == "self"
+                and parts[1] in locks
+            ):
+                self._record_acquire(
+                    facts, held, (cls, parts[1]), node.lineno
+                )
+                continue
+            callee = self.program.callee_of(node)
+            facts.calls.append((node, callee, held))
+            if self._is_blocking(name, node):
+                target = ".".join(parts[:-1]) if parts else "<expr>"
+                facts.blocking.add(f"{target}.{name}()")
+
+    def _record_acquire(
+        self,
+        facts: _MethodFacts,
+        held: tuple[LockNode, ...],
+        node: LockNode,
+        line: int,
+    ) -> None:
+        facts.acquires.add(node)
+        for holder in held:
+            facts.edges.append((holder, node, line))
+
+    def _is_blocking(self, name: str, call: ast.Call) -> bool:
+        if name in _BLOCKING_ALWAYS:
+            return True
+        if name in _BLOCKING_WITH_TIMEOUT:
+            return any(
+                keyword.arg in ("timeout", "block")
+                for keyword in call.keywords
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    # transitive closure over resolved method calls
+    # ------------------------------------------------------------------
+    def _fixpoint(self) -> None:
+        for method, facts in self.method_facts.items():
+            self.method_acquires[method] = set(facts.acquires)
+            self.method_blocks[method] = set(facts.blocking)
+        changed = True
+        while changed:
+            changed = False
+            for method, facts in self.method_facts.items():
+                for _node, callee, _held in facts.calls:
+                    if callee is None or callee not in self.method_facts:
+                        continue
+                    before = len(self.method_acquires[method])
+                    self.method_acquires[method] |= self.method_acquires[
+                        callee
+                    ]
+                    blocks_before = len(self.method_blocks[method])
+                    self.method_blocks[method] |= self.method_blocks[callee]
+                    if (
+                        len(self.method_acquires[method]) != before
+                        or len(self.method_blocks[method]) != blocks_before
+                    ):
+                        changed = True
+
+    # ------------------------------------------------------------------
+    # the global edge set
+    # ------------------------------------------------------------------
+    def edges(self) -> dict[tuple[LockNode, LockNode], tuple[str, int]]:
+        """Edge -> ``(rel_path, line)`` of one representative site."""
+        out: dict[tuple[LockNode, LockNode], tuple[str, int]] = {}
+        for method, facts in self.method_facts.items():
+            rel_path = self._rel_path(method)
+            for holder, acquired, line in facts.edges:
+                out.setdefault((holder, acquired), (rel_path, line))
+            for node, callee, held in facts.calls:
+                if callee is None or callee not in self.method_facts:
+                    continue
+                for holder in held:
+                    for acquired in self.method_acquires[callee]:
+                        out.setdefault(
+                            (holder, acquired), (rel_path, node.lineno)
+                        )
+        return out
+
+    def _rel_path(self, method: str) -> str:
+        info = self.program.functions[method]
+        return self.program.modules[info.module].rel_path
+
+    def module_for(self, method: str) -> ParsedModule:
+        info = self.program.functions[method]
+        return self.program.modules[info.module]
+
+
+#: one builder per program, shared by both rules in one run
+_BUILDER_CACHE: dict[int, _LockGraphBuilder] = {}
+
+
+def _builder_for(program: Program) -> _LockGraphBuilder:
+    builder = _BUILDER_CACHE.get(id(program))
+    if builder is None:
+        _BUILDER_CACHE.clear()  # one program alive at a time
+        builder = _LockGraphBuilder(program)
+        _BUILDER_CACHE[id(program)] = builder
+    return builder
+
+
+@register
+class LockOrderCycleRule:
+    rule_id = "lock-order-cycle"
+    severity = "error"
+    description = (
+        "two code paths acquire the same locks in opposite orders "
+        "(ABBA) — or re-acquire a non-reentrant Lock — so two threads "
+        "can deadlock; fix the ordering or make the edge impossible"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        builder = _builder_for(program)
+        edges = builder.edges()
+        graph: dict[LockNode, set[LockNode]] = {}
+        for (holder, acquired), _site in edges.items():
+            graph.setdefault(holder, set()).add(acquired)
+        yield from self._self_loops(builder, edges)
+        yield from self._cycles(builder, edges, graph)
+
+    def _self_loops(
+        self,
+        builder: _LockGraphBuilder,
+        edges: dict[tuple[LockNode, LockNode], tuple[str, int]],
+    ) -> Iterator[Finding]:
+        for (holder, acquired), (rel_path, line) in sorted(
+            edges.items(), key=lambda item: (item[1], item[0])
+        ):
+            if holder != acquired:
+                continue
+            kind = builder.class_locks.get(holder[0], {}).get(holder[1])
+            if kind in _REENTRANT:
+                continue
+            yield Finding(
+                rel_path=rel_path,
+                line=line,
+                col=0,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    f"{_node_label(holder)} is re-acquired while already "
+                    f"held and is a non-reentrant Lock — this thread "
+                    f"deadlocks itself"
+                ),
+            )
+
+    def _cycles(
+        self,
+        builder: _LockGraphBuilder,
+        edges: dict[tuple[LockNode, LockNode], tuple[str, int]],
+        graph: dict[LockNode, set[LockNode]],
+    ) -> Iterator[Finding]:
+        reported: set[frozenset[LockNode]] = set()
+        for start in sorted(graph):
+            cycle = self._find_cycle(graph, start)
+            if cycle is None:
+                continue
+            key = frozenset(cycle)
+            if len(cycle) < 2 or key in reported:
+                continue
+            reported.add(key)
+            sites = [
+                edges[(cycle[i], cycle[(i + 1) % len(cycle)])]
+                for i in range(len(cycle))
+            ]
+            rel_path, line = min(sites)
+            labels = [_node_label(node) for node in cycle]
+            yield Finding(
+                rel_path=rel_path,
+                line=line,
+                col=0,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=(
+                    "lock-order cycle (ABBA deadlock candidate): "
+                    + " -> ".join(labels + labels[:1])
+                ),
+            )
+
+    def _find_cycle(
+        self, graph: dict[LockNode, set[LockNode]], start: LockNode
+    ) -> list[LockNode] | None:
+        """A simple cycle through ``start``, if one exists (DFS)."""
+        stack: list[tuple[LockNode, list[LockNode]]] = [(start, [start])]
+        seen: set[LockNode] = set()
+        while stack:
+            node, path = stack.pop()
+            for child in sorted(graph.get(node, ())):
+                if child == start and len(path) > 1:
+                    return path
+                if child in seen or child in path:
+                    continue
+                seen.add(child)
+                stack.append((child, path + [child]))
+        return None
+
+
+@register
+class LockHoldWaitRule:
+    rule_id = "lock-order-hold-wait"
+    severity = "warning"
+    description = (
+        "a blocking wait (pipe recv/poll, semaphore/queue acquire or "
+        "get with timeout, process join) runs while a lock is held — "
+        "every thread needing the lock stalls for the full wait; move "
+        "the wait outside, or justify why no contending thread exists"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        builder = _builder_for(program)
+        emitted: set[tuple[str, int]] = set()
+        for method in sorted(builder.method_facts):
+            facts = builder.method_facts[method]
+            module = builder.module_for(method)
+            for node, callee, held in facts.calls:
+                if not held:
+                    continue
+                message = self._wait_message(builder, node, callee, held)
+                if message is None:
+                    continue
+                key = (module.rel_path, node.lineno)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield Finding(
+                    rel_path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    message=message,
+                ).with_context(module)
+
+    def _wait_message(
+        self,
+        builder: _LockGraphBuilder,
+        node: ast.Call,
+        callee: str | None,
+        held: tuple[LockNode, ...],
+    ) -> str | None:
+        held_text = ", ".join(_node_label(lock) for lock in held)
+        parts = chain_of(node.func)
+        name = parts[-1] if parts else ""
+        if builder._is_blocking(name, node):
+            target = ".".join(parts[:-1]) if parts else "<expr>"
+            return (
+                f"blocking {target}.{name}() while holding {held_text}"
+            )
+        if callee is not None and builder.method_blocks.get(callee):
+            waits = ", ".join(sorted(builder.method_blocks[callee])[:3])
+            return (
+                f"{_short_method(callee)}() blocks internally ({waits}) "
+                f"and is called while holding {held_text}"
+            )
+        return None
+
+
+def _short_method(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:])

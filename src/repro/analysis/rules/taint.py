@@ -1,0 +1,135 @@
+"""Interprocedural determinism taint: sources must never reach identities.
+
+Replaces the old intraprocedural ``det-wallclock-key`` heuristic.  The
+:mod:`~repro.analysis.dataflow` pass propagates wall-clock / unseeded-RNG
+/ ``os.environ`` / ``id()`` taint through assignments and resolved call
+edges; this rule then checks every sink where a value becomes an
+*identity*:
+
+* the return value of a function whose name says it builds one
+  (``*key*``, ``*signature*``, ``*fingerprint*``, ``*cache*``),
+* any argument of a call whose name says it hashes or keys
+  (``*hash*``, ``hashlib.sha256``-family constructors, ``*key*``, ...),
+* any argument of a wire-payload constructor (``*Response``,
+  ``*Envelope``) — responses must be byte-identical for identical
+  requests.
+
+Timing fields measured with ``perf_counter`` are not taints (see the
+dataflow module), so legitimate ``timing=...`` response fields stay
+clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.dataflow import Taint, TaintAnalysis
+from repro.analysis.program import FunctionInfo, Program, chain_of
+from repro.analysis.registry import Finding, register
+
+#: a function whose *name* declares it builds an identity
+_KEYISH_FN = re.compile(r"key|signature|fingerprint|cache", re.IGNORECASE)
+#: a call whose name consumes values into an identity
+_KEYISH_CALL = re.compile(r"key|signature|fingerprint|hash", re.IGNORECASE)
+#: hashlib-style digest constructors
+_HASH_FNS = frozenset({"sha1", "sha224", "sha256", "sha384", "sha512",
+                       "md5", "blake2b", "blake2s"})
+
+
+def _sink_call_label(call: ast.Call) -> str | None:
+    """What identity sink a call is, if it is one."""
+    parts = chain_of(call.func)
+    if parts is None:
+        return None
+    name = parts[-1]
+    if name in _HASH_FNS:
+        return f"digest {'.'.join(parts[-2:])}()"
+    if _KEYISH_CALL.search(name):
+        return f"call to {name}()"
+    if name.endswith(("Response", "Envelope")) and name[0].isupper():
+        return f"wire payload {name}(...)"
+    return None
+
+
+@register
+class InterprocTaintRule:
+    rule_id = "det-taint-interproc"
+    severity = "error"
+    description = (
+        "wall clock / unseeded RNG / os.environ / id() flows (possibly "
+        "through helper calls) into a cache key, signature, manifest "
+        "hash or wire payload — identities must be pure functions of "
+        "content"
+    )
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        analysis = TaintAnalysis(program)
+        emitted: set[tuple[str, int]] = set()
+        for fn in sorted(
+            program.functions.values(), key=lambda f: f.qualname
+        ):
+            module = program.modules[fn.module]
+            for finding in self._check_function(program, analysis, fn):
+                key = (finding.rel_path, finding.line)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield finding.with_context(module)
+
+    def _check_function(
+        self, program: Program, analysis: TaintAnalysis, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        module = program.modules[fn.module]
+        keyish_owner = bool(_KEYISH_FN.search(fn.node.name))
+        for node in ast.walk(fn.node):
+            if (
+                keyish_owner
+                and isinstance(node, ast.Return)
+                and node.value is not None
+            ):
+                taints = analysis.taints_of(fn, node.value)
+                if taints:
+                    yield self._finding(
+                        module.rel_path,
+                        node,
+                        taints,
+                        f"the return value of {fn.node.name}()",
+                    )
+            if isinstance(node, ast.Call):
+                label = _sink_call_label(node)
+                if label is None:
+                    continue
+                call_taints: set[Taint] = set()
+                for arg in node.args:
+                    call_taints |= analysis.taints_of(fn, arg)
+                for keyword in node.keywords:
+                    call_taints |= analysis.taints_of(fn, keyword.value)
+                if call_taints:
+                    yield self._finding(
+                        module.rel_path, node, call_taints, label
+                    )
+
+    def _finding(
+        self,
+        rel_path: str,
+        node: ast.AST,
+        taints: set[Taint],
+        sink: str,
+    ) -> Finding:
+        described = "; ".join(
+            sorted({taint.describe() for taint in taints})
+        )
+        return Finding(
+            rel_path=rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=(
+                f"nondeterministic value ({described}) reaches {sink} — "
+                f"identities must be pure functions of content, never of "
+                f"the clock, RNG or environment"
+            ),
+        )

@@ -1,11 +1,19 @@
 """Orchestration: walk the tree, run every rule, apply suppressions,
 diff against the baseline, render.  ``repro lint`` and
 ``python -m repro.analysis`` both land here.
+
+Two rule shapes run side by side: per-module rules (``check(module)``)
+and whole-program rules (``check_program(program)``), the latter over the
+import/call graph :func:`repro.analysis.program.build_program` builds from
+the same parsed modules.  Program-rule findings are routed back to their
+file so inline suppressions and the baseline treat them like any other.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 import time
 from collections import Counter
@@ -19,8 +27,14 @@ from repro.analysis.baseline import (
     split_findings,
     write_baseline,
 )
+from repro.analysis.program import Program, build_program
 from repro.analysis.registry import META_RULES, Finding, all_rules
-from repro.analysis.walker import ParsedModule, Suppression, parse_tree
+from repro.analysis.walker import (
+    DEFAULT_CACHE_DIRNAME,
+    ParsedModule,
+    Suppression,
+    parse_tree,
+)
 
 
 @dataclass
@@ -34,6 +48,8 @@ class LintResult:
     suppressed: list[Finding] = field(default_factory=list)
     n_files: int = 0
     seconds: float = 0.0
+    #: the whole-program view (import/call graph) the run was checked against
+    program: Program | None = None
 
     @property
     def suppressed_count(self) -> int:
@@ -108,11 +124,12 @@ def _meta_findings(module: ParsedModule) -> list[Finding]:
 def run_lint(
     root: Path,
     paths: list[Path] | None = None,
+    cache_dir: Path | None = None,
 ) -> LintResult:
     """Run every registered rule over the tree rooted at ``root``."""
     start = time.perf_counter()
     result = LintResult()
-    modules, failures = parse_tree(root, paths)
+    modules, failures = parse_tree(root, paths, cache_dir)
     result.n_files = len(modules)
     rules = all_rules()
     for path, error in failures:
@@ -127,13 +144,33 @@ def run_lint(
                 message=f"file does not parse: {error.msg}",
             )
         )
+
+    by_rel_path = {module.rel_path: module for module in modules}
+    per_file: dict[str, list[Finding]] = {rel: [] for rel in by_rel_path}
     for module in modules:
-        module_findings: list[Finding] = []
         for rule in rules:
+            if not hasattr(rule, "check"):
+                continue
             if not rule.applies_to(module.rel_path):
                 continue
-            module_findings.extend(rule.check(module))
-        kept, suppressed = _apply_suppressions(module, module_findings)
+            per_file[module.rel_path].extend(rule.check(module))
+
+    program = build_program(root, modules)
+    result.program = program
+    for rule in rules:
+        if not hasattr(rule, "check_program"):
+            continue
+        for finding in rule.check_program(program):
+            module = by_rel_path.get(finding.rel_path)
+            if module is None:
+                result.findings.append(finding)
+                continue
+            per_file[finding.rel_path].append(finding.with_context(module))
+
+    for module in modules:
+        kept, suppressed = _apply_suppressions(
+            module, sorted(per_file[module.rel_path])
+        )
         result.suppressed.extend(suppressed)
         kept.extend(_meta_findings(module))
         result.findings.extend(kept)
@@ -142,13 +179,58 @@ def run_lint(
     return result
 
 
+def changed_files(root: Path, base_ref: str) -> set[str]:
+    """Repo-relative paths changed vs ``base_ref``, plus untracked files."""
+    changed: set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", base_ref],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        completed = subprocess.run(
+            args, cwd=root, capture_output=True, text=True
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(args)} failed: {completed.stderr.strip()}"
+            )
+        changed.update(
+            line.strip()
+            for line in completed.stdout.splitlines()
+            if line.strip()
+        )
+    return changed
+
+
+def _restrict(result: LintResult, rel_paths: set[str]) -> LintResult:
+    """The same run, reported only for ``rel_paths`` (``--changed-only``)."""
+    result.findings = [f for f in result.findings if f.rel_path in rel_paths]
+    result.old_findings = [
+        f for f in result.old_findings if f.rel_path in rel_paths
+    ]
+    result.new_findings = [
+        f for f in result.new_findings if f.rel_path in rel_paths
+    ]
+    result.suppressed = [
+        f for f in result.suppressed if f.rel_path in rel_paths
+    ]
+    result.stale_baseline = Counter(
+        {
+            key: count
+            for key, count in result.stale_baseline.items()
+            if key[1] in rel_paths
+        }
+    )
+    return result
+
+
 def lint_with_baseline(
     root: Path,
     paths: list[Path] | None = None,
     baseline_path: Path | None = None,
+    cache_dir: Path | None = None,
 ) -> LintResult:
     """:func:`run_lint` plus the baseline diff (the ratchet)."""
-    result = run_lint(root, paths)
+    result = run_lint(root, paths, cache_dir)
     if baseline_path is None:
         baseline_path = root / DEFAULT_BASELINE_NAME
     baseline = load_baseline(baseline_path)
@@ -172,8 +254,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description=(
-            "project-specific static analysis: determinism, lock "
-            "discipline, numpy contracts, wire-schema strictness"
+            "project-specific static analysis: determinism taint, layer "
+            "contract, lock ordering, exception contract, config drift, "
+            "numpy contracts, wire-schema strictness"
         ),
     )
     parser.add_argument(
@@ -207,6 +290,30 @@ def main(argv: list[str] | None = None) -> int:
         "(the ratchet: run after fixing findings, review the shrink)",
     )
     parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="analyze the whole program but report findings only for "
+        "files changed vs --base-ref (plus untracked files)",
+    )
+    parser.add_argument(
+        "--base-ref",
+        default="HEAD",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    parser.add_argument(
+        "--dump-graph",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the whole-program import/call graph as JSON (the CI "
+        "artifact) and continue",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"skip the on-disk AST cache (<root>/{DEFAULT_CACHE_DIRNAME})",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
@@ -214,8 +321,6 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        from repro.analysis.registry import META_RULES, all_rules
-
         for rule in all_rules():
             print(f"{rule.rule_id}  [{rule.severity}]")
             print(f"    {rule.description}")
@@ -230,9 +335,10 @@ def main(argv: list[str] | None = None) -> int:
         else root / DEFAULT_BASELINE_NAME
     )
     paths = [path.resolve() for path in args.paths] or None
+    cache_dir = None if args.no_cache else root / DEFAULT_CACHE_DIRNAME
 
     if args.write_baseline:
-        result = run_lint(root, paths)
+        result = run_lint(root, paths, cache_dir)
         write_baseline(baseline_path, result.findings)
         print(
             f"baseline written to {baseline_path} "
@@ -241,7 +347,20 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    result = lint_with_baseline(root, paths, baseline_path)
+    result = lint_with_baseline(root, paths, baseline_path, cache_dir)
+    if args.dump_graph is not None and result.program is not None:
+        args.dump_graph.parent.mkdir(parents=True, exist_ok=True)
+        args.dump_graph.write_text(
+            json.dumps(result.program.to_json(), indent=1) + "\n",
+            encoding="utf-8",
+        )
+    if args.changed_only:
+        try:
+            changed = changed_files(root, args.base_ref)
+        except RuntimeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        result = _restrict(result, changed)
     from repro.analysis.report import render_json, render_text
 
     if args.format == "json":

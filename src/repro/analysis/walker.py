@@ -4,17 +4,33 @@ One :class:`ParsedModule` per file: the AST (with a parent map, so rules can
 ask "am I inside a ``with self._lock:`` block?"), the raw source lines (for
 finding context), and every ``# reprolint: ignore[...]`` suppression found
 by the tokenizer.  Parsing happens once; every rule walks the same tree.
+
+Parsed modules are cached on disk under ``<root>/.reprolint_cache/`` keyed
+by the **content hash** of the source (plus a format tag and the Python
+version, since pickled ASTs do not survive either changing), so warm runs
+skip ``ast.parse`` entirely.  The cache is written immediately after
+parsing — before any rule mutates ``Suppression.used`` — and is safe to
+delete at any time.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import os
+import pickle
 import re
+import sys
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
+
+#: bump when ParsedModule's pickled shape changes
+_CACHE_TAG = "reprolint-ast-v1"
+
+DEFAULT_CACHE_DIRNAME = ".reprolint_cache"
 
 # matches a suppression comment: hash, "reprolint:", then "ignore" with a
 # bracketed rule list and a ":"-introduced justification
@@ -151,12 +167,58 @@ def _parse_rule_ids(match: re.Match[str]) -> tuple[str, ...]:
     )
 
 
-def parse_module(path: Path, root: Path) -> ParsedModule:
+def _cache_key(source: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(_CACHE_TAG.encode())
+    digest.update(f"py{sys.version_info[0]}.{sys.version_info[1]}".encode())
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _load_cached(
+    cache_file: Path, path: Path, rel_path: str
+) -> ParsedModule | None:
+    try:
+        with cache_file.open("rb") as handle:
+            module = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    if not isinstance(module, ParsedModule):
+        return None
+    # the hash key covers content only: re-anchor location, reset run state
+    module.path = path
+    module.rel_path = rel_path
+    for suppression in module.suppressions:
+        suppression.used = False
+    return module
+
+
+def _store_cached(cache_file: Path, module: ParsedModule) -> None:
+    try:
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        tmp = cache_file.with_suffix(f".tmp{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(module, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(cache_file)
+    except OSError:  # a read-only tree just runs uncached
+        pass
+
+
+def parse_module(
+    path: Path, root: Path, cache_dir: Path | None = None
+) -> ParsedModule:
     source = path.read_text(encoding="utf-8")
+    rel_path = path.relative_to(root).as_posix()
+    cache_file = None
+    if cache_dir is not None:
+        cache_file = cache_dir / f"{_cache_key(source)}.pkl"
+        cached = _load_cached(cache_file, path, rel_path)
+        if cached is not None:
+            return cached
     tree = ast.parse(source, filename=str(path))
     module = ParsedModule(
         path=path,
-        rel_path=path.relative_to(root).as_posix(),
+        rel_path=rel_path,
         source=source,
         tree=tree,
         lines=source.splitlines(),
@@ -165,6 +227,8 @@ def parse_module(path: Path, root: Path) -> ParsedModule:
     for parent in ast.walk(tree):
         for child in ast.iter_child_nodes(parent):
             module._parents[child] = parent
+    if cache_file is not None:
+        _store_cached(cache_file, module)
     return module
 
 
@@ -187,14 +251,16 @@ def discover_files(root: Path, paths: list[Path] | None = None) -> list[Path]:
 
 
 def parse_tree(
-    root: Path, paths: list[Path] | None = None
+    root: Path,
+    paths: list[Path] | None = None,
+    cache_dir: Path | None = None,
 ) -> tuple[list[ParsedModule], list[tuple[Path, SyntaxError]]]:
     """Parse the whole tree; syntax failures are reported, not raised."""
     modules: list[ParsedModule] = []
     failures: list[tuple[Path, SyntaxError]] = []
     for path in discover_files(root, paths):
         try:
-            modules.append(parse_module(path, root))
+            modules.append(parse_module(path, root, cache_dir))
         except SyntaxError as error:
             failures.append((path, error))
     return modules, failures

@@ -272,6 +272,7 @@ class SessionConfig:
             "workers",
             "batch_size",
             "cache_size",
+            "compiled_cache_size",
         ):
             value = getattr(args, flag, None)
             if value is not None:

@@ -106,6 +106,9 @@ class ApiError(Exception):
 
     def __init__(self, code: str, message: str) -> None:
         if code not in HTTP_STATUS:
+            # reprolint: ignore[exc-unclassified]: a programmer-error guard
+            # at construction time — it can never reach a client, because
+            # the ApiError carrying it was never built
             raise ValueError(f"unregistered error code: {code!r}")
         super().__init__(message)
         self.code = code
@@ -140,16 +143,24 @@ def to_api_error(error: BaseException) -> ApiError:
 
     # local imports: this module sits below every subsystem it classifies
     from repro.catalog.errors import CatalogError, UnknownIdError
+
+    # reprolint: ignore[arch-layering]: deliberate lazy upward import — the
+    # taxonomy must classify serve-layer exceptions without making the api
+    # layer depend on serve at load time
     from repro.serve.errors import (
         BundleError,
         BundleIntegrityError,
         BundleVersionError,
+        WorkerSpawnError,
+        WorkerTimeout,
     )
 
     if isinstance(error, UnknownIdError):
         return ApiError(UNKNOWN_ID, str(error))
     if isinstance(error, CatalogError):
         return ApiError(INVALID_QUERY, str(error))
+    if isinstance(error, (WorkerTimeout, WorkerSpawnError)):
+        return ApiError(WORKER_FAILED, str(error))
     if isinstance(error, BundleVersionError):
         return ApiError(BUNDLE_VERSION_UNSUPPORTED, str(error))
     if isinstance(error, BundleIntegrityError):

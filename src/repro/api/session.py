@@ -155,6 +155,9 @@ class ReproSession:
         verify: bool = True,
     ) -> "ReproSession":
         """Open a warm session on a prebuilt artifact bundle."""
+        # reprolint: ignore[arch-layering]: deliberate lazy upward import —
+        # the bundle format is serve-owned; deferring keeps the api layer
+        # load-time-independent of the serving tier
         from repro.serve.bundle import LoadedBundle, load_bundle
 
         if not isinstance(bundle, LoadedBundle):
@@ -552,6 +555,8 @@ class ReproSession:
     # ------------------------------------------------------------------
     def build_bundle(self, request: BundleBuildRequest) -> BundleBuildResponse:
         """Annotate a corpus and serialize the full serving bundle."""
+        # reprolint: ignore[arch-layering]: deliberate lazy upward import —
+        # bundle building is serve-owned; the session only brokers it
         from repro.serve.bundle import build_bundle
 
         corpus_path = Path(request.corpus_path)

@@ -110,6 +110,12 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
         help="candidate-cache entries (0 disables the cache)",
     )
     parser.add_argument(
+        "--compiled-cache-size",
+        type=_non_negative_int,
+        default=2048,
+        help="compiled-factor-graph LRU entries (0 disables it)",
+    )
+    parser.add_argument(
         "--engine",
         choices=VALID_ENGINES,
         default="batched",
@@ -375,6 +381,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fusion=args.fusion,
         executor=args.executor,
         cache_size=args.cache_size,
+        compiled_cache_size=args.compiled_cache_size,
         serve=ServeConfig(
             workers=args.workers,
             queue_depth=args.queue_depth,
@@ -451,6 +458,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--baseline", str(args.baseline)]
     if args.write_baseline:
         argv.append("--write-baseline")
+    if args.changed_only:
+        argv.append("--changed-only")
+    if args.base_ref != "HEAD":
+        argv += ["--base-ref", args.base_ref]
+    if args.dump_graph is not None:
+        argv += ["--dump-graph", str(args.dump_graph)]
+    if args.no_cache:
+        argv.append("--no-cache")
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -621,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate-cache entries (0 disables the cache)",
     )
     serve.add_argument(
+        "--compiled-cache-size",
+        type=_non_negative_int,
+        default=2048,
+        help="compiled-factor-graph LRU entries per worker (0 disables it)",
+    )
+    serve.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
@@ -699,6 +720,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="record current findings as the new baseline (review the shrink)",
+    )
+    lint.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="analyze the whole program, report only files changed vs "
+        "--base-ref (plus untracked files)",
+    )
+    lint.add_argument(
+        "--base-ref",
+        default="HEAD",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    lint.add_argument(
+        "--dump-graph",
+        default=None,
+        metavar="PATH",
+        help="also write the whole-program import/call graph JSON here",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk AST cache (.reprolint_cache/)",
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table"

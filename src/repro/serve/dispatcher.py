@@ -264,10 +264,13 @@ class Dispatcher:
             self._log(f"failed to spawn replacement {name}: {error}")
             return
         with self._lock:
-            if generation.retired:
-                replacement.stop(timeout=1.0)
-                return
-            generation.workers.append(replacement)
+            retired = generation.retired
+            if not retired:
+                generation.workers.append(replacement)
+        if retired:
+            # stop() joins the child process — never block inside _lock
+            replacement.stop(timeout=1.0)
+            return
         generation.idle.put(replacement)
         self._log(f"worker {replacement.name} (pid {replacement.pid}) ready")
 
@@ -314,6 +317,10 @@ class Dispatcher:
                 self._active = fresh
                 self._generation_seq = generation_id
             self.dispatch_metrics.observe_reload()
+            # reprolint: ignore[lock-order-hold-wait]: _reload_lock exists
+            # to serialize whole reloads end-to-end (request threads never
+            # take it), so draining the old generation under it is the
+            # point, not a hazard
             drained = self._retire(old)
         self._log(
             f"reloaded onto {bundle_path} as generation {fresh.id} "

@@ -25,11 +25,33 @@ __all__ = [
     "BundleIntegrityError",
     "BundleVersionError",
     "ServeError",
+    "WorkerSpawnError",
+    "WorkerTimeout",
 ]
 
 
 class ServeError(Exception):
     """Base class for all serving-layer errors."""
+
+
+class WorkerTimeout(Exception):
+    """A worker did not reply within the per-request ceiling.
+
+    Deliberately *not* a :class:`ServeError`: the dispatcher's pipe-error
+    handling treats it alongside ``OSError``/``EOFError``, and a blanket
+    ``except ServeError`` must not swallow it.  Classifies to the stable
+    ``worker_failed`` wire code.
+    """
+
+
+class WorkerSpawnError(ServeError, RuntimeError):
+    """A forked worker never became ready (died during warmup).
+
+    Subclasses ``RuntimeError`` too: callers that treated the old
+    ``RuntimeError`` raise from ``spawn_worker`` as fatal keep working,
+    while :func:`repro.api.errors.to_api_error` now classifies it to the
+    stable ``worker_failed`` wire code instead of ``internal_error``.
+    """
 
 
 class BadRequestError(_ApiBadRequestError, ServeError):

@@ -49,16 +49,22 @@ from multiprocessing.connection import Connection
 from typing import TYPE_CHECKING, Any
 
 from repro.api.config import SessionConfig
+from repro.serve.errors import WorkerSpawnError, WorkerTimeout
 
 if TYPE_CHECKING:
     from repro.serve.bundle import LoadedBundle
 
+__all__ = [
+    "DEFAULT_CALL_TIMEOUT",
+    "WorkerHandle",
+    "WorkerSpawnError",
+    "WorkerTimeout",
+    "fork_context",
+    "spawn_worker",
+]
+
 #: default ceiling on one pipe round trip (overridden per dispatcher config)
 DEFAULT_CALL_TIMEOUT = 120.0
-
-
-class WorkerTimeout(Exception):
-    """A worker did not reply within the per-request ceiling."""
 
 
 def fork_context() -> multiprocessing.context.BaseContext:
@@ -72,6 +78,9 @@ def fork_context() -> multiprocessing.context.BaseContext:
     try:
         return multiprocessing.get_context("fork")
     except ValueError as error:  # pragma: no cover - non-POSIX platforms
+        # reprolint: ignore[exc-unclassified]: startup-only capability
+        # probe — cmd_serve catches it and falls back to the in-process
+        # backend; it never crosses the request path
         raise RuntimeError(
             "the multi-worker serving tier requires the 'fork' start "
             "method, which this platform does not provide; run with "
@@ -176,12 +185,21 @@ class WorkerHandle:
         """One request/response round trip; raises on death or timeout."""
         with self._conn_lock:
             self._conn.send(message)
+            # reprolint: ignore[lock-order-hold-wait]: _conn_lock exists
+            # precisely to serialize this round trip; the child replies
+            # regardless of parent lock state, and poll() is the bounded
+            # wait that turns a wedged worker into WorkerTimeout
             if not self._conn.poll(timeout):
                 raise WorkerTimeout(
                     f"worker {self.name} silent for {timeout:.0f}s"
                 )
+            # reprolint: ignore[lock-order-hold-wait]: poll() above already
+            # confirmed a buffered reply; this recv() cannot block
             reply = self._conn.recv()
         if not isinstance(reply, tuple) or not reply:
+            # reprolint: ignore[exc-unclassified]: deliberately a pipe-level
+            # error — the dispatcher's _PIPE_ERRORS handling turns it into
+            # the stable worker_failed code and replaces the worker
             raise OSError(f"worker {self.name} sent a malformed reply")
         return reply
 
@@ -255,7 +273,7 @@ def spawn_worker(
     handle = WorkerHandle(name, generation, bundle, config)
     if not handle.ping(timeout=ready_timeout):
         handle.stop(timeout=1.0)
-        raise RuntimeError(
+        raise WorkerSpawnError(
             f"worker {name} failed to become ready within {ready_timeout:.0f}s"
         )
     return handle

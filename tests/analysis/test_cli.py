@@ -68,9 +68,16 @@ def test_repro_lint_subcommand(tmp_path, capsys):
     assert cli_main(["lint", "--list-rules"]) == 0
     listing = capsys.readouterr().out
     for rule_id in (
+        "arch-layering",
+        "arch-import-cycle",
         "det-unseeded-random",
-        "det-wallclock-key",
+        "det-taint-interproc",
         "det-unordered-iter",
+        "exc-unclassified",
+        "exc-unknown-code",
+        "config-knob-drift",
+        "lock-order-cycle",
+        "lock-order-hold-wait",
         "lock-unguarded-attr",
         "np-missing-dtype",
         "np-scratch-escape",
@@ -79,3 +86,4 @@ def test_repro_lint_subcommand(tmp_path, capsys):
         "unused-suppression",
     ):
         assert rule_id in listing
+    assert "det-wallclock-key" not in listing  # replaced by the taint rule

@@ -1,0 +1,289 @@
+"""The whole-program layer itself: symbol/import/call-graph construction,
+the ``--dump-graph`` artifact shape, the content-hash AST cache, the
+``--changed-only`` reporting filter and the baseline rename re-key.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import subprocess
+from collections import Counter
+
+import pytest
+
+from repro.analysis.baseline import split_findings
+from repro.analysis.registry import Finding
+from repro.analysis.runner import main as analysis_main
+from repro.analysis.runner import run_lint
+from repro.analysis.walker import DEFAULT_CACHE_DIRNAME
+from tests.analysis.conftest import repo_root
+
+_GRAPH_TREE = {
+    "src/repro/core/model.py": """\
+    class Table:
+        def __init__(self, name):
+            self.name = name
+
+        def title(self):
+            return self.name.upper()
+    """,
+    "src/repro/pipeline/run.py": """\
+    from repro.core.model import Table
+
+
+    def process(table: Table):
+        return table.title()
+
+
+    def build(name):
+        table = Table(name)
+        return process(table)
+    """,
+}
+
+
+# ----------------------------------------------------------------------
+# program construction
+# ----------------------------------------------------------------------
+
+
+def test_symbols_imports_and_calls_resolved(lint_tree):
+    program = lint_tree(_GRAPH_TREE).program
+    assert program is not None
+    assert set(program.modules) == {"repro.core.model", "repro.pipeline.run"}
+    assert "repro.core.model.Table" in program.classes
+    assert "repro.core.model.Table.title" in program.functions
+
+    edges = {(e.importer, e.target) for e in program.import_edges}
+    assert ("repro.pipeline.run", "repro.core.model") in edges
+
+    build = program.functions["repro.pipeline.run.build"]
+    callees = {callee for _node, callee in program.calls_in(build) if callee}
+    # constructing a class resolves to its __init__; the helper call by name
+    assert "repro.core.model.Table.__init__" in callees
+    assert "repro.pipeline.run.process" in callees
+
+    # annotated parameter -> method call resolves across modules
+    process = program.functions["repro.pipeline.run.process"]
+    callees = {callee for _node, callee in program.calls_in(process) if callee}
+    assert "repro.core.model.Table.title" in callees
+
+
+def test_graph_export_shape(lint_tree):
+    document = lint_tree(_GRAPH_TREE).program.to_json()
+    assert document["version"] == 1
+    by_name = {entry["name"]: entry for entry in document["modules"]}
+    assert by_name["repro.core.model"]["layer"] == "foundation"
+    assert by_name["repro.pipeline.run"]["layer"] == "orchestration"
+    assert {
+        "from": "repro.pipeline.run",
+        "to": "repro.core.model",
+        "line": 1,
+        "top_level": True,
+        "type_checking": False,
+    } in document["imports"]
+    call_pairs = {(call["from"], call["to"]) for call in document["calls"]}
+    assert ("repro.pipeline.run.process", "repro.core.model.Table.title") in (
+        call_pairs
+    )
+
+
+def test_dump_graph_flag_writes_artifact(tmp_path, capsys):
+    path = tmp_path / "src" / "repro" / "core" / "thing.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("X = 1\n", encoding="utf-8")
+    artifact = tmp_path / "out" / "graph.json"
+    assert analysis_main(
+        ["--root", str(tmp_path), "--dump-graph", str(artifact)]
+    ) == 0
+    capsys.readouterr()
+    document = json.loads(artifact.read_text(encoding="utf-8"))
+    assert [entry["name"] for entry in document["modules"]] == [
+        "repro.core.thing"
+    ]
+
+
+# ----------------------------------------------------------------------
+# the AST cache
+# ----------------------------------------------------------------------
+
+
+def _write_tree(root, files):
+    import textwrap
+
+    for rel_path, source in files.items():
+        path = root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def test_warm_run_skips_parsing(tmp_path, monkeypatch):
+    _write_tree(tmp_path, _GRAPH_TREE)
+    cache_dir = tmp_path / DEFAULT_CACHE_DIRNAME
+    cold = run_lint(tmp_path, cache_dir=cache_dir)
+    assert list(cache_dir.glob("*.pkl"))
+
+    def _no_parse(*_args, **_kwargs):
+        raise AssertionError("warm run must not call ast.parse")
+
+    monkeypatch.setattr(ast, "parse", _no_parse)
+    warm = run_lint(tmp_path, cache_dir=cache_dir)
+    assert warm.n_files == cold.n_files
+    assert [f.key() for f in warm.findings] == [f.key() for f in cold.findings]
+
+
+def test_cache_invalidated_on_edit(tmp_path):
+    _write_tree(tmp_path, {"src/repro/core/thing.py": "X = 1\n"})
+    cache_dir = tmp_path / DEFAULT_CACHE_DIRNAME
+    assert run_lint(tmp_path, cache_dir=cache_dir).findings == []
+    (tmp_path / "src" / "repro" / "core" / "thing.py").write_text(
+        "import random\n\ndef f():\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    result = run_lint(tmp_path, cache_dir=cache_dir)
+    assert [f.rule_id for f in result.findings] == ["det-unseeded-random"]
+
+
+def test_corrupt_cache_entry_falls_back_to_parsing(tmp_path):
+    _write_tree(tmp_path, {"src/repro/core/thing.py": "X = 1\n"})
+    cache_dir = tmp_path / DEFAULT_CACHE_DIRNAME
+    run_lint(tmp_path, cache_dir=cache_dir)
+    for entry in cache_dir.glob("*.pkl"):
+        entry.write_bytes(b"not a pickle")
+    result = run_lint(tmp_path, cache_dir=cache_dir)
+    assert result.n_files == 1
+    assert result.findings == []
+
+
+def test_full_repo_warm_lint_under_ten_seconds(tmp_path):
+    # ISSUE acceptance: whole-program lint in well under 10s warm
+    cache_dir = tmp_path / "cache"
+    cold = run_lint(repo_root(), cache_dir=cache_dir)
+    warm = run_lint(repo_root(), cache_dir=cache_dir)
+    assert warm.n_files == cold.n_files > 100
+    assert warm.seconds < 10.0
+    assert [f.key() for f in warm.findings] == [f.key() for f in cold.findings]
+
+
+# ----------------------------------------------------------------------
+# --changed-only
+# ----------------------------------------------------------------------
+
+_VIOLATING = "import random\n\ndef f():\n    return random.random()\n"
+
+
+def _git(root, *args):
+    subprocess.run(
+        [
+            "git",
+            "-c",
+            "user.email=test@test",
+            "-c",
+            "user.name=test",
+            *args,
+        ],
+        cwd=root,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_changed_only_reports_only_touched_files(tmp_path, capsys):
+    _write_tree(tmp_path, {"src/repro/core/committed.py": _VIOLATING})
+    try:
+        _git(tmp_path, "init")
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pytest.skip("git unavailable")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-m", "seed")
+    _write_tree(tmp_path, {"src/repro/core/untracked.py": _VIOLATING})
+
+    assert analysis_main(
+        ["--root", str(tmp_path), "--changed-only", "--format", "json"]
+    ) == 1
+    document = json.loads(capsys.readouterr().out)
+    paths = {entry["path"] for entry in document["new_findings"]}
+    assert paths == {"src/repro/core/untracked.py"}
+
+    # the committed file's finding is invisible until it is touched again
+    (tmp_path / "src" / "repro" / "core" / "committed.py").write_text(
+        _VIOLATING + "Y = 1\n", encoding="utf-8"
+    )
+    assert analysis_main(
+        ["--root", str(tmp_path), "--changed-only", "--format", "json"]
+    ) == 1
+    document = json.loads(capsys.readouterr().out)
+    paths = {entry["path"] for entry in document["new_findings"]}
+    assert paths == {
+        "src/repro/core/committed.py",
+        "src/repro/core/untracked.py",
+    }
+
+
+def test_changed_only_outside_git_exits_two(tmp_path, capsys):
+    _write_tree(tmp_path, {"src/repro/core/thing.py": "X = 1\n"})
+    code = analysis_main(["--root", str(tmp_path), "--changed-only"])
+    captured = capsys.readouterr()
+    if code != 2:  # the tmp dir may sit inside an enclosing repo
+        pytest.skip("tmp_path is inside a git repository")
+    assert "error:" in captured.err
+
+
+# ----------------------------------------------------------------------
+# baseline rename re-key
+# ----------------------------------------------------------------------
+
+
+def _finding(rel_path, context, line=3):
+    return Finding(
+        rel_path=rel_path,
+        line=line,
+        col=0,
+        rule_id="det-unseeded-random",
+        severity="error",
+        message="m",
+        context=context,
+    )
+
+
+def test_moved_file_consumes_stale_capacity():
+    baseline = Counter(
+        {
+            (
+                "det-unseeded-random",
+                "src/repro/core/old.py",
+                "return random.random()",
+            ): 1
+        }
+    )
+    moved = _finding("src/repro/core/new.py", "return random.random()")
+    old, new, stale = split_findings([moved], baseline)
+    assert new == []
+    assert old == [moved]
+    assert not stale
+
+
+def test_rekey_requires_matching_context():
+    baseline = Counter(
+        {
+            (
+                "det-unseeded-random",
+                "src/repro/core/old.py",
+                "return random.random()",
+            ): 1
+        }
+    )
+    different = _finding("src/repro/core/new.py", "x = random.random()")
+    old, new, stale = split_findings([different], baseline)
+    assert old == []
+    assert new == [different]
+    assert sum(stale.values()) == 1
+
+
+def test_rekey_never_matches_empty_context():
+    baseline = Counter({("det-unseeded-random", "src/repro/core/old.py", ""): 1})
+    anonymous = _finding("src/repro/core/new.py", "")
+    old, new, _stale = split_findings([anonymous], baseline)
+    assert old == []
+    assert new == [anonymous]

@@ -1,0 +1,537 @@
+"""Golden fixtures for the whole-program rule families: layer contract,
+import cycles, interprocedural determinism taint, lock ordering and the
+exception/config contracts.  Each family gets a true-positive fixture and
+a structurally-similar clean one, so the rules stay anchored on real
+violations rather than on incidental syntax.
+"""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# ----------------------------------------------------------------------
+# arch-layering / arch-import-cycle
+# ----------------------------------------------------------------------
+
+
+def test_upward_import_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/serve/pool.py": "X = 1\n",
+            "src/repro/core/thing.py": "from repro.serve.pool import X\n",
+        }
+    )
+    assert rule_ids(result) == ["arch-layering"]
+    finding = result.findings[0]
+    assert finding.rel_path == "src/repro/core/thing.py"
+    assert "foundation" in finding.message
+    assert "frontends" in finding.message
+
+
+def test_downward_import_clean(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/core/thing.py": "X = 1\n",
+            "src/repro/serve/pool.py": "from repro.core.thing import X\n",
+        }
+    )
+    assert result.findings == []
+
+
+def test_type_checking_import_exempt(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/serve/pool.py": "X = 1\n",
+            "src/repro/core/thing.py": """\
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.serve.pool import X
+            """,
+        }
+    )
+    assert result.findings == []
+
+
+def test_lazy_upward_import_still_flagged_but_suppressible(lint_tree):
+    source = """\
+    def load():
+        # reprolint: ignore[arch-layering]: deliberate lazy coupling,
+        # mirrors the API's lazy use of the serve-owned bundle format
+        from repro.serve.pool import X
+
+        return X
+    """
+    result = lint_tree(
+        {
+            "src/repro/serve/pool.py": "X = 1\n",
+            "src/repro/core/thing.py": source,
+        }
+    )
+    assert result.findings == []
+    assert result.suppressed_count == 1
+
+
+def test_load_time_cycle_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/core/a.py": "from repro.core.b import Y\nX = 1\n",
+            "src/repro/core/b.py": "from repro.core.a import X\nY = 2\n",
+        }
+    )
+    assert rule_ids(result) == ["arch-import-cycle"]
+    assert "repro.core.a -> repro.core.b" in result.findings[0].message
+
+
+def test_lazy_edge_breaks_cycle(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/core/a.py": "from repro.core.b import Y\nX = 1\n",
+            "src/repro/core/b.py": (
+                "def get_x():\n    from repro.core.a import X\n\n    return X\n"
+                "Y = 2\n"
+            ),
+        }
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# det-taint-interproc (the interprocedural part; the intraprocedural
+# fixture lives in test_rules.py)
+# ----------------------------------------------------------------------
+
+
+def test_wallclock_through_helper_into_key_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/pipeline/keys.py": """\
+            import time
+
+
+            def stamp():
+                return time.time()
+
+
+            def cache_key(table):
+                return (table.name, stamp())
+            """
+        }
+    )
+    assert rule_ids(result) == ["det-taint-interproc"]
+    finding = result.findings[0]
+    assert finding.line == 9
+    assert "via keys.stamp()" in finding.message
+
+
+def test_taint_survives_formatting_helper(lint_tree):
+    # param->return summaries: the taint rides through a combining helper
+    result = lint_tree(
+        {
+            "src/repro/pipeline/keys.py": """\
+            import time
+
+
+            def label(value):
+                return "t=" + str(value)
+
+
+            def cache_key(table):
+                return (table.name, label(time.time()))
+            """
+        }
+    )
+    assert rule_ids(result) == ["det-taint-interproc"]
+
+
+def test_perf_counter_timing_clean(lint_tree):
+    # perf_counter is the sanctioned timing read — a timing field in a
+    # wire payload must not be flagged
+    result = lint_tree(
+        {
+            "src/repro/api/shapes.py": """\
+            import time
+
+
+            def respond(build, table):
+                started = time.perf_counter()
+                result = build(table)
+                return AnnotateResponse(
+                    result, timing=time.perf_counter() - started
+                )
+            """
+        }
+    )
+    assert result.findings == []
+
+
+def test_environ_into_digest_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/pipeline/manifest.py": """\
+            import hashlib
+            import os
+
+
+            def manifest_digest(payload):
+                salt = os.environ["REPRO_SALT"]
+                return hashlib.sha256(salt.encode() + payload).hexdigest()
+            """
+        }
+    )
+    assert rule_ids(result) == ["det-taint-interproc"]
+    assert "os.environ" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# lock-order-cycle / lock-order-hold-wait
+# ----------------------------------------------------------------------
+
+_ABBA = """\
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return 2
+"""
+
+
+def test_abba_cycle_flagged(lint_tree):
+    result = lint_tree({"src/repro/serve/pair.py": _ABBA})
+    assert rule_ids(result) == ["lock-order-cycle"]
+    assert "ABBA" in result.findings[0].message
+
+
+def test_consistent_order_clean(lint_tree):
+    consistent = _ABBA.replace(
+        "        with self._b:\n            with self._a:\n",
+        "        with self._a:\n            with self._b:\n",
+    )
+    result = lint_tree({"src/repro/serve/pair.py": consistent})
+    assert result.findings == []
+
+
+def test_lock_scope_excludes_foundation(lint_tree):
+    # the same ABBA shape outside serve/+api/ is out of scope
+    result = lint_tree({"src/repro/core/pair.py": _ABBA})
+    assert result.findings == []
+
+
+def test_self_deadlock_through_callee_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/serve/once.py": """\
+            import threading
+
+
+            class Once:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        return self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        return 1
+            """
+        }
+    )
+    assert rule_ids(result) == ["lock-order-cycle"]
+    assert "re-acquired" in result.findings[0].message
+
+
+def test_rlock_reentry_clean(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/serve/once.py": """\
+            import threading
+
+
+            class Once:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        return self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        return 1
+            """
+        }
+    )
+    assert result.findings == []
+
+
+def test_blocking_recv_under_lock_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/serve/handle.py": """\
+            import threading
+
+
+            class Handle:
+                def __init__(self, conn):
+                    self._lock = threading.Lock()
+                    self._conn = conn
+
+                def call(self, payload):
+                    with self._lock:
+                        self._conn.send(payload)
+                        return self._conn.recv()
+            """
+        }
+    )
+    assert rule_ids(result) == ["lock-order-hold-wait"]
+    assert "recv()" in result.findings[0].message
+    assert "Handle._lock" in result.findings[0].message
+
+
+def test_recv_outside_lock_clean(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/serve/handle.py": """\
+            import threading
+
+
+            class Handle:
+                def __init__(self, conn):
+                    self._lock = threading.Lock()
+                    self._conn = conn
+
+                def call(self, payload):
+                    with self._lock:
+                        self._conn.send(payload)
+                    return self._conn.recv()
+            """
+        }
+    )
+    assert result.findings == []
+
+
+def test_transitive_blocking_callee_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/serve/handle.py": """\
+            import threading
+
+
+            class Handle:
+                def __init__(self, conn):
+                    self._lock = threading.Lock()
+                    self._conn = conn
+
+                def _round_trip(self, payload):
+                    self._conn.send(payload)
+                    return self._conn.recv()
+
+                def call(self, payload):
+                    with self._lock:
+                        return self._round_trip(payload)
+            """
+        }
+    )
+    assert rule_ids(result) == ["lock-order-hold-wait"]
+    assert "blocks internally" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# exc-unclassified / exc-unknown-code
+# ----------------------------------------------------------------------
+
+_ERRORS_FIXTURE = """\
+VALIDATION_ERROR = "validation_error"
+INTERNAL_ERROR = "internal_error"
+
+HTTP_STATUS = {
+    VALIDATION_ERROR: 400,
+    INTERNAL_ERROR: 500,
+    "io_error": 500,
+}
+
+
+class ApiError(Exception):
+    def __init__(self, code, message):
+        self.code = code
+        self.message = message
+
+
+class PipeError(Exception):
+    pass
+
+
+def to_api_error(error):
+    if isinstance(error, ApiError):
+        return error
+    if isinstance(error, (OSError, PipeError)):
+        return ApiError(INTERNAL_ERROR, str(error))
+    return ApiError(INTERNAL_ERROR, str(error))
+"""
+
+
+def test_unclassified_raise_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/api/errors.py": _ERRORS_FIXTURE,
+            "src/repro/api/handlers.py": """\
+            from repro.api.errors import ApiError
+
+
+            class BundleMissing(Exception):
+                pass
+
+
+            def handle(payload):
+                if payload is None:
+                    raise BundleMissing("no payload")
+                if "table" not in payload:
+                    raise ApiError("validation_error", "missing table")
+                return payload
+            """,
+        }
+    )
+    assert rule_ids(result) == ["exc-unclassified"]
+    assert "BundleMissing" in result.findings[0].message
+
+
+def test_classified_raises_clean(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/api/errors.py": _ERRORS_FIXTURE,
+            "src/repro/api/handlers.py": """\
+            from repro.api.errors import ApiError, PipeError
+
+
+            class BadTable(ApiError):
+                pass
+
+
+            def handle(payload):
+                if payload is None:
+                    raise PipeError("gone")      # isinstance-chain class
+                if "table" not in payload:
+                    raise BadTable("validation_error", "missing")
+                if payload == {}:
+                    raise OSError("empty")        # builtin in the chain
+                raise NotImplementedError        # exempt control flow
+            """,
+        }
+    )
+    assert result.findings == []
+
+
+def test_unknown_code_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/api/errors.py": _ERRORS_FIXTURE,
+            "src/repro/api/handlers.py": """\
+            from repro.api.errors import ApiError
+
+
+            def handle(payload):
+                raise ApiError("bad_table_shape", "nope")
+            """,
+        }
+    )
+    assert rule_ids(result) == ["exc-unknown-code"]
+    assert "bad_table_shape" in result.findings[0].message
+
+
+def test_exc_rules_inert_without_taxonomy(lint_tree):
+    # fixture trees without their own errors module stay quiet
+    result = lint_tree(
+        {
+            "src/repro/api/handlers.py": """\
+            def handle(payload):
+                raise RuntimeError("boom")
+            """
+        }
+    )
+    assert result.findings == []
+
+
+def test_exc_scope_excludes_foundation(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/api/errors.py": _ERRORS_FIXTURE,
+            "src/repro/core/thing.py": """\
+            def load(path):
+                raise RuntimeError("core raises are not wire-facing")
+            """,
+        }
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# config-knob-drift
+# ----------------------------------------------------------------------
+
+_CONFIG_FIXTURE = """\
+class SessionConfig:
+    batch_size: int = 16
+    secret_knob: int = 3
+"""
+
+_CLI_FIXTURE = 'FLAGS = ["--batch-size"]\n'
+
+_OPERATIONS_FIXTURE = "| `--batch-size` | `batch_size` | 16 | tables |\n"
+
+
+def test_unwired_knob_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/api/config.py": _CONFIG_FIXTURE,
+            "src/repro/cli.py": _CLI_FIXTURE,
+            "docs/OPERATIONS.md": _OPERATIONS_FIXTURE,
+        }
+    )
+    assert rule_ids(result) == ["config-knob-drift"]
+    finding = result.findings[0]
+    assert "SessionConfig.secret_knob" in finding.message
+    assert "--secret-knob" in finding.message
+    assert "docs/OPERATIONS.md" in finding.message
+
+
+def test_wired_and_documented_knob_clean(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/api/config.py": "class SessionConfig:\n"
+            "    batch_size: int = 16\n",
+            "src/repro/cli.py": _CLI_FIXTURE,
+            "docs/OPERATIONS.md": _OPERATIONS_FIXTURE,
+        }
+    )
+    assert result.findings == []
+
+
+def test_seconds_suffix_flag_spelling_accepted(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/api/config.py": "class ServeConfig:\n"
+            "    shed_timeout_seconds: float = 2.0\n",
+            "src/repro/cli.py": 'FLAGS = ["--shed-timeout"]\n',
+            "docs/OPERATIONS.md": "| `--shed-timeout` | shed wait |\n",
+        }
+    )
+    assert result.findings == []
+
+
+def test_knob_rule_inert_without_cli_module(lint_tree):
+    result = lint_tree({"src/repro/api/config.py": _CONFIG_FIXTURE})
+    assert result.findings == []

@@ -63,7 +63,7 @@ def test_wallclock_in_cache_key_flagged(lint_tree):
         }
     )
     # flagged inside cache_key, allowed inside timestamp
-    assert rule_ids(result) == ["det-wallclock-key"]
+    assert rule_ids(result) == ["det-taint-interproc"]
     assert result.findings[0].line == 4
 
 

@@ -385,3 +385,21 @@ def test_to_api_error_classifies_internal_exceptions():
     # already-classified errors pass through untouched
     original = ApiError("unknown_engine", "nope")
     assert api_errors.to_api_error(original) is original
+
+
+def test_to_api_error_classifies_worker_failures():
+    # regression: WorkerTimeout and WorkerSpawnError fell through to the
+    # opaque internal_error even though both mean "retry against another
+    # worker" — they must classify as the retryable worker_failed
+    from repro.serve.errors import WorkerSpawnError, WorkerTimeout
+    from repro.serve.pool import WorkerTimeout as pool_timeout
+
+    timeout = api_errors.to_api_error(WorkerTimeout("w0 silent for 120s"))
+    assert timeout.code == "worker_failed"
+    assert timeout.http_status == 503
+
+    spawn = api_errors.to_api_error(WorkerSpawnError("fork failed"))
+    assert spawn.code == "worker_failed"
+    # the old spelling subclassed RuntimeError; keep old handlers working
+    assert isinstance(WorkerSpawnError("x"), RuntimeError)
+    assert pool_timeout is WorkerTimeout  # pool re-exports the moved class

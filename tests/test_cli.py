@@ -342,6 +342,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_compiled_cache_size_flag_reaches_session_config(self):
+        # regression: the field existed on SessionConfig but had no CLI
+        # flag, so operators could never change the compiled-graph LRU
+        from repro.api.config import SessionConfig
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in (
+            ["annotate", "--catalog", "c", "--corpus", "x"],
+            ["serve", "--bundle", "b"],
+        ):
+            args = parser.parse_args([*command, "--compiled-cache-size", "7"])
+            assert SessionConfig.from_args(args).compiled_cache_size == 7
+            defaulted = parser.parse_args(command)
+            assert SessionConfig.from_args(defaulted).compiled_cache_size == (
+                SessionConfig().compiled_cache_size
+            )
+
 
 class TestAnnotateStreamedArray:
     def test_output_bytes_match_json_dumps(self, world_dir, tmp_path):

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation checks: intra-repo markdown links and runnable examples.
+"""Documentation checks: markdown links, runnable examples, layer contract.
 
-Two subcommands, both exercised by CI's ``docs`` job:
+Three subcommands, all exercised by CI's ``docs`` job:
 
 ``links``
     Scan every tracked ``*.md`` file for relative links and verify each
@@ -16,7 +16,14 @@ Two subcommands, both exercised by CI's ``docs`` job:
     any non-zero exit.  This keeps the examples from rotting as the API
     moves.
 
-Run both with no arguments::
+``layers``
+    Verify ``docs/ARCHITECTURE.md`` contains, verbatim, every tier line
+    of the import-layer contract declared in
+    ``src/repro/analysis/layers.py`` — the same declaration ``repro
+    lint``'s ``arch-layering`` rule enforces — so the documented contract
+    cannot drift from the enforced one.
+
+Run all with no arguments::
 
     python tools/check_docs.py
 """
@@ -133,12 +140,30 @@ def check_examples() -> list[str]:
     return problems
 
 
+def check_layers() -> list[str]:
+    """``docs/ARCHITECTURE.md`` must contain every declared tier line."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis.layers import contract_lines
+    finally:
+        sys.path.pop(0)
+    architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+    problems: list[str] = []
+    for line in contract_lines():
+        if line not in architecture:
+            problems.append(
+                f"docs/ARCHITECTURE.md: missing layer-contract line "
+                f"{line!r} (see src/repro/analysis/layers.py)"
+            )
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "check",
         nargs="?",
-        choices=("links", "examples", "all"),
+        choices=("links", "examples", "layers", "all"),
         default="all",
     )
     args = parser.parse_args()
@@ -149,6 +174,11 @@ def main() -> int:
         link_problems = check_links()
         problems.extend(link_problems)
         print(f"  {len(iter_markdown_files())} files, {len(link_problems)} broken")
+    if args.check in ("layers", "all"):
+        print("checking ARCHITECTURE.md against the declared layer contract ...")
+        layer_problems = check_layers()
+        problems.extend(layer_problems)
+        print(f"  {len(layer_problems)} drifted line(s)")
     if args.check in ("examples", "all"):
         print("running examples/ in smoke mode (REPRO_SMOKE=1) ...")
         problems.extend(check_examples())
