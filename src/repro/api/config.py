@@ -127,12 +127,27 @@ class ServeConfig:
     health_interval_seconds: float = 1.0
     #: how long shutdown / hot-swap waits for in-flight requests to finish
     drain_timeout_seconds: float = 30.0
+    #: coalesce concurrent /annotate requests into fused super-batches
+    #: (serve-time dynamic micro-batching; docs/OPERATIONS.md "Batching")
+    batching: bool = False
+    #: tables one coalesced super-batch may carry at most
+    max_batch_size: int = 16
+    #: how long the coalescer holds an open batch for more arrivals
+    batch_wait_ms: float = 5.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("serve workers must be >= 1")
         if self.queue_depth < 0:
             raise ValueError("serve queue_depth must be >= 0")
+        if self.max_batch_size < 1:
+            # reprolint: ignore[exc-unclassified]: construction-time guard;
+            # SessionConfig.from_json wraps it into validation_error
+            raise ValueError("serve max_batch_size must be >= 1")
+        if self.batch_wait_ms < 0:
+            # reprolint: ignore[exc-unclassified]: construction-time guard;
+            # SessionConfig.from_json wraps it into validation_error
+            raise ValueError("serve batch_wait_ms must be >= 0")
         for name in (
             "shed_timeout_seconds",
             "request_timeout_seconds",

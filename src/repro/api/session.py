@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.api import errors
 from repro.api.config import (
@@ -58,6 +58,7 @@ from repro.catalog.errors import CatalogError
 from repro.catalog.io import load_catalog_json
 from repro.core.annotation import TableAnnotation
 from repro.core.candidates import CandidateGenerator
+from repro.core.fused import annotate_fused_chunk, fused_eligible
 from repro.core.candidates_batched import (
     BatchedCandidateEngine,
     InternedCandidateTables,
@@ -65,6 +66,7 @@ from repro.core.candidates_batched import (
 from repro.core.model import AnnotationModel, default_model
 from repro.pipeline.io import annotation_to_dict, iter_corpus_jsonl
 from repro.pipeline.pipeline import AnnotationPipeline
+from repro.pipeline.planner import iter_bucket_chunks, plan_buckets
 from repro.search.annotated_search import AnnotatedSearcher
 from repro.search.join_search import JoinQuery, JoinSearcher
 from repro.search.query import RelationQuery
@@ -330,6 +332,95 @@ class ReproSession:
                 else None
             ),
         )
+
+    def annotate_batch(
+        self, requests: Sequence[AnnotateRequest]
+    ) -> list[AnnotateResponse | ApiError]:
+        """Annotate many requests as shape-bucketed fused super-batches.
+
+        The serve-time coalescer's entry point: the tables are planned into
+        shape buckets (the same :func:`~repro.pipeline.planner.plan_buckets`
+        fused corpus runs use) and each multi-table bucket runs as one fused
+        BP super-graph on the warm pipeline, amortising candidate retrieval
+        and graph compilation across batchmates.  Each response is
+        byte-identical to what a lone :meth:`annotate` call would produce
+        (fused execution preserves per-table results bit for bit; pinned by
+        the batching property tests).
+
+        Failures are isolated per request: a slot whose table fails holds an
+        :class:`ApiError` instead of a response, and a bucket poisoned by
+        one bad table falls back to per-table execution so its batchmates
+        still succeed.  Requests selecting different engines are grouped and
+        fused per engine.
+        """
+        results: list[AnnotateResponse | ApiError | None] = [None] * len(requests)
+        by_engine: dict[str, list[int]] = {}
+        for position, request in enumerate(requests):
+            try:
+                engine = validate_engine(
+                    request.engine
+                    if request.engine is not None
+                    else self.config.engine
+                )
+            except ApiError as error:
+                results[position] = error
+                continue
+            by_engine.setdefault(engine, []).append(position)
+        for engine in sorted(by_engine):
+            self._annotate_batch_engine(
+                requests, by_engine[engine], engine, results
+            )
+        return [
+            result
+            if result is not None
+            else ApiError(errors.INTERNAL_ERROR, "batch slot never resolved")
+            for result in results
+        ]
+
+    def _annotate_batch_engine(
+        self,
+        requests: Sequence[AnnotateRequest],
+        positions: list[int],
+        engine: str,
+        results: list[AnnotateResponse | ApiError | None],
+    ) -> None:
+        """Run one engine's share of a batch through the fused planner."""
+        pipeline = self.pipeline(engine)
+        annotator = pipeline.annotator
+        tables = [requests[position].table for position in positions]
+        plan = plan_buckets(tables)
+        fused = fused_eligible(annotator)
+        for signature, entries in iter_bucket_chunks(
+            plan, pipeline.config.batch_size
+        ):
+            chunk_tables = [table for _local, table in entries]
+            annotations: list[TableAnnotation | ApiError] | None = None
+            if fused and len(chunk_tables) > 1:
+                try:
+                    annotations = list(
+                        annotate_fused_chunk(annotator, chunk_tables, signature)
+                    )
+                except Exception:  # noqa: BLE001 - a poisoned batchmate
+                    # must not fail the bucket: isolate per table below
+                    annotations = None
+            if annotations is None:
+                annotations = []
+                for table in chunk_tables:
+                    try:
+                        annotations.append(annotator.annotate(table))
+                    except Exception as error:  # noqa: BLE001 - isolate
+                        annotations.append(to_api_error(error))
+            for (local, _table), annotation in zip(entries, annotations):
+                position = positions[local]
+                if isinstance(annotation, ApiError):
+                    results[position] = annotation
+                else:
+                    results[position] = self._annotate_response(
+                        annotation,
+                        engine,
+                        include_timing=requests[position].include_timing,
+                    )
+        self._trim_timing_ledger(pipeline)
 
     def annotate_wire_stream(
         self,

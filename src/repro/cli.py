@@ -372,7 +372,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.api.config import ServeConfig
     from repro.serve.bundle import load_bundle
-    from repro.serve.server import create_server, run_server
+    from repro.serve.server import InlineBackend, create_server, run_server
     from repro.serve.state import ServeState
 
     config = SessionConfig(
@@ -389,15 +389,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             request_timeout_seconds=args.request_timeout,
             health_interval_seconds=args.health_interval,
             drain_timeout_seconds=args.drain_timeout,
+            batching=args.batching == "on",
+            max_batch_size=args.max_batch_size,
+            batch_wait_ms=args.batch_wait_ms,
         ),
     )
     verify = not args.no_verify
     backend: Any
     if args.inline:
         bundle = load_bundle(args.bundle, verify=verify)
-        backend = ServeState(bundle, session_config=config)
+        backend = InlineBackend(ServeState(bundle, session_config=config))
         topology = "inline (in-process)"
-        n_tables = len(backend.index)
+        n_tables = len(backend.state.index)
     else:
         try:
             from repro.serve.dispatcher import Dispatcher
@@ -407,9 +410,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except RuntimeError as error:
             print(f"warning: {error}", file=sys.stderr, flush=True)
             bundle = load_bundle(args.bundle, verify=verify)
-            backend = ServeState(bundle, session_config=config)
+            backend = InlineBackend(ServeState(bundle, session_config=config))
             topology = "inline (in-process; fork unavailable)"
-            n_tables = len(backend.index)
+            n_tables = len(backend.state.index)
         else:
             backend = Dispatcher(
                 args.bundle,
@@ -419,6 +422,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
             topology = f"{args.workers} pre-fork worker(s)"
             n_tables = backend.healthz()["tables"]
+    if config.serve.batching:
+        from repro.serve.dispatcher import BatchingBackend
+
+        backend = BatchingBackend(backend, config=config)
+        topology += (
+            f" + request coalescer (max_batch_size={args.max_batch_size}, "
+            f"batch_wait_ms={args.batch_wait_ms:g})"
+        )
     server = create_server(
         backend, host=args.host, port=args.port, quiet=not args.verbose
     )
@@ -678,6 +689,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="seconds shutdown / hot-swap waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--batching",
+        choices=("on", "off"),
+        default="off",
+        help="coalesce concurrent /annotate requests into fused "
+        "super-batches (dynamic micro-batching; see docs/OPERATIONS.md "
+        "'Batching')",
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=_positive_int,
+        default=16,
+        help="tables one coalesced super-batch may carry at most "
+        "(--batching on)",
+    )
+    serve.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=5.0,
+        help="milliseconds the coalescer holds an open batch for more "
+        "arrivals (--batching on)",
     )
     serve.add_argument(
         "--inline",

@@ -9,7 +9,10 @@ bookkeeping around a very small hot path:
   admitted within ``shed_timeout_seconds`` is shed with a 503
   ``overloaded`` *before* it consumes any worker time.  Under overload the
   server degrades to a bounded queue plus fast rejections instead of an
-  unbounded thread pile-up.
+  unbounded thread pile-up.  Admission is strictly FIFO
+  (:class:`FifoSlots`): freed slots go to the longest-waiting request, so
+  no request starves behind later arrivals however long the overload
+  lasts.
 * **Load balancing.**  Admitted requests take the first idle worker (a
   plain queue: workers that finish fastest serve the most requests, which
   is the right policy for homogeneous workers over one shared bundle).
@@ -38,18 +41,74 @@ import queue
 import sys
 import threading
 import time
+from collections import deque
 from pathlib import Path
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.api import errors as api_errors
 from repro.api.config import SessionConfig
-from repro.api.errors import ApiError
+from repro.api.errors import ApiError, to_api_error
 from repro.api.types import SCHEMA_VERSION
 from repro.serve.bundle import LoadedBundle, load_bundle
-from repro.serve.metrics import DispatcherMetrics, MetricsRegistry
+from repro.serve.metrics import (
+    BatchingMetrics,
+    DispatcherMetrics,
+    MetricsRegistry,
+)
 from repro.serve.pool import WorkerHandle, WorkerTimeout, spawn_worker
 
+if TYPE_CHECKING:
+    from repro.serve.server import Backend
+
 _PIPE_ERRORS = (WorkerTimeout, OSError, EOFError, BrokenPipeError)
+
+
+class FifoSlots:
+    """Admission tickets handed out strictly in arrival order.
+
+    A drop-in for the ``threading.Semaphore`` the dispatcher used to use,
+    with one behavioral difference that matters under sustained overload:
+    ``Semaphore`` wakes blocked acquirers in arbitrary order, so an unlucky
+    request can lose every wakeup race and wait orders of magnitude longer
+    than its peers (the p99 ≈ 100× p50 signature in ``BENCH_serve.json``).
+    Here a released slot is handed directly to the longest-waiting ticket,
+    and a fresh ``acquire`` never jumps past parked waiters.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            # reprolint: ignore[exc-unclassified]: a programmer-error guard
+            # at construction time, never reachable from a request
+            raise ValueError("capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._available = capacity
+        self._waiters: deque[threading.Event] = deque()
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Take one slot; False when none frees up within ``timeout``."""
+        with self._lock:
+            if self._available > 0 and not self._waiters:
+                self._available -= 1
+                return True
+            ticket = threading.Event()
+            self._waiters.append(ticket)
+        if ticket.wait(timeout):
+            return True
+        with self._lock:
+            if ticket.is_set():
+                # a release handed us the slot in the instant we timed out;
+                # the hand-off already consumed it, so the acquire stands
+                return True
+            self._waiters.remove(ticket)
+        return False
+
+    def release(self) -> None:
+        """Free one slot — passed to the head waiter if anyone is parked."""
+        with self._lock:
+            if self._waiters:
+                self._waiters.popleft().set()
+            else:
+                self._available += 1
 
 
 class _Generation:
@@ -66,7 +125,7 @@ class _Generation:
         self.bundle = bundle
         self.workers = workers
         self.capacity = len(workers) + queue_depth
-        self.slots = threading.Semaphore(self.capacity)
+        self.slots = FifoSlots(self.capacity)
         self.idle: queue.Queue[WorkerHandle] = queue.Queue()
         for worker in workers:
             self.idle.put(worker)
@@ -155,6 +214,41 @@ class Dispatcher:
     # ------------------------------------------------------------------
     def call(self, endpoint: str, payload: dict) -> dict:
         """Dispatch one request to a worker; raises :class:`ApiError`."""
+        result: dict = self._admit_and_call(("request", endpoint, payload))
+        return result
+
+    def call_batch(
+        self,
+        endpoint: str,
+        payloads: list[dict],
+        timeout: float | None = None,
+    ) -> list[dict]:
+        """Run one coalesced super-batch on a single worker.
+
+        The whole bucket ships as one ``batch`` pipe message; the worker
+        answers with one outcome per payload (failures isolated per item by
+        :meth:`~repro.serve.state.ServeState.handle_batch`).  ``timeout``
+        bounds the worker round trip — the coalescer passes the tightest
+        member deadline so ``request_timeout`` stays per request, not per
+        batch.  Raises :class:`ApiError` only on whole-batch failure
+        (shed admission, dead worker).
+        """
+        reply = self._admit_and_call(
+            ("batch", endpoint, payloads), timeout=timeout
+        )
+        results = reply.get("results") if isinstance(reply, dict) else None
+        if not isinstance(results, list) or len(results) != len(payloads):
+            raise ApiError(
+                api_errors.INTERNAL_ERROR,
+                "worker returned a malformed batch reply",
+            )
+        return results
+
+    def _admit_and_call(
+        self, message: tuple, timeout: float | None = None
+    ) -> dict:
+        """Admission + one worker round trip (shared by call / call_batch)."""
+        endpoint = message[1]
         generation = self._current()
         admitted_at = time.perf_counter()
         self.dispatch_metrics.observe_admitted()
@@ -171,7 +265,10 @@ class Dispatcher:
             queue_seconds = time.perf_counter() - admitted_at
             try:
                 reply = worker.call(
-                    ("request", endpoint, payload), timeout=self.request_timeout
+                    message,
+                    timeout=(
+                        timeout if timeout is not None else self.request_timeout
+                    ),
                 )
             except _PIPE_ERRORS as error:
                 self.dispatch_metrics.observe_worker_failed()
@@ -510,3 +607,268 @@ class Dispatcher:
             "identity": bundle.manifest.identity,
         }
         return snapshot
+
+
+class _PendingRequest:
+    """One coalesced request parked between its HTTP thread and a batcher."""
+
+    __slots__ = ("payload", "enqueued_at", "deadline", "done", "result", "error")
+
+    def __init__(
+        self, payload: dict, enqueued_at: float, deadline: float
+    ) -> None:
+        self.payload = payload
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline
+        self.done = threading.Event()
+        self.result: dict | None = None
+        self.error: ApiError | None = None
+
+    def resolve(self, result: dict) -> None:
+        self.result = result
+        self.done.set()
+
+    def fail(self, error: ApiError) -> None:
+        self.error = error
+        self.done.set()
+
+
+class BatchingBackend:
+    """Serve-time dynamic micro-batching over any serving backend.
+
+    Sits between the HTTP layer and an inner backend (the
+    :class:`Dispatcher` or an :class:`~repro.serve.server.InlineBackend`)
+    and coalesces concurrent ``/annotate`` requests into fused
+    super-batches: a request parks in a bounded queue until either
+    ``batch_wait_ms`` passes or ``max_batch_size`` tables have gathered,
+    then the whole batch ships as **one** ``call_batch`` — one worker round
+    trip, planned into shape buckets and executed as fused BP super-graphs
+    by the session underneath.  Responses are demultiplexed back to their
+    HTTP threads byte-identical to unbatched serving (property-tested in
+    ``tests/serve/test_batching.py``).
+
+    Contracts the coalescer keeps:
+
+    * **Per-request error isolation** — a poisoned table fails only its own
+      request; batchmates resolve normally (the per-item ``ok``/``error``
+      outcomes of :meth:`ServeState.handle_batch` carry this across the
+      pipe).
+    * **``request_timeout`` is per request, not per batch** — each member's
+      deadline starts at its own enqueue; a batch's worker round trip is
+      bounded by the tightest member deadline, and a member already past
+      its deadline is failed without riding along.
+    * **Deterministic under restart/hot-swap** — the coalescer holds no
+      bundle state; batches land on whatever generation the inner backend
+      currently serves, and shutdown drains the queue before the inner
+      backend drains its workers.
+
+    Non-annotate endpoints, and annotate requests whose explicit ``engine``
+    differs from the serving default, bypass the queue and run solo —
+    counted in the ``batching`` metrics section as ``solo_requests``.
+    """
+
+    def __init__(
+        self,
+        inner: "Backend",
+        config: SessionConfig | None = None,
+        metrics_window: int = 2048,
+    ) -> None:
+        self.inner = inner
+        self.config = config if config is not None else SessionConfig()
+        serve = self.config.serve
+        self.max_batch_size = serve.max_batch_size
+        self.batch_wait_seconds = serve.batch_wait_ms / 1000.0
+        self.shed_timeout = serve.shed_timeout_seconds
+        self.request_timeout = serve.request_timeout_seconds
+        self.default_engine = self.config.engine
+        self.batch_metrics = BatchingMetrics(window_size=metrics_window)
+        capacity = (serve.workers + serve.queue_depth) * serve.max_batch_size
+        self._pending: queue.Queue[_PendingRequest] = queue.Queue(
+            maxsize=capacity
+        )
+        self._stop_event = threading.Event()
+        self._batchers = [
+            threading.Thread(
+                target=self._batch_loop,
+                name=f"repro-serve-batcher-{index}",
+                daemon=True,
+            )
+            for index in range(serve.workers)
+        ]
+        for thread in self._batchers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+    def call(self, endpoint: str, payload: dict) -> dict:
+        """Coalesce an ``/annotate`` request; run anything else solo."""
+        if endpoint != "annotate" or not self._batchable(payload):
+            self.batch_metrics.observe_solo()
+            return self.inner.call(endpoint, payload)
+        now = time.perf_counter()
+        pending = _PendingRequest(payload, now, now + self.request_timeout)
+        try:
+            self._pending.put(pending, timeout=self.shed_timeout)
+        except queue.Full:
+            self.batch_metrics.observe_shed()
+            raise ApiError(
+                api_errors.OVERLOADED,
+                "server overloaded: the batching queue is full; retry "
+                "with backoff",
+            ) from None
+        # generous ceiling: the batcher enforces the real per-request
+        # deadline; this wait only guards against a lost wakeup
+        if not pending.done.wait(
+            self.request_timeout + self.batch_wait_seconds + 60.0
+        ):  # pragma: no cover - requires a wedged batcher thread
+            raise ApiError(
+                api_errors.INTERNAL_ERROR,
+                "batched request was never resolved; the coalescer is wedged",
+            )
+        if pending.error is not None:
+            # re-raise per caller: one shared whole-batch failure must not
+            # mutate a single exception object across N threads
+            raise ApiError(pending.error.code, str(pending.error))
+        result: dict = pending.result if pending.result is not None else {}
+        return result
+
+    def _batchable(self, payload: dict) -> bool:
+        """Only requests the default-engine fused path can serve batch up;
+        an explicit off-default engine override runs solo."""
+        if not isinstance(payload, dict):
+            return False
+        engine = payload.get("engine")
+        return engine is None or engine == self.default_engine
+
+    # ------------------------------------------------------------------
+    # batcher threads
+    # ------------------------------------------------------------------
+    def _batch_loop(self) -> None:
+        """Collect one batch, execute it, repeat until drained + stopped."""
+        while True:
+            try:
+                first = self._pending.get(timeout=0.1)
+            except queue.Empty:
+                if self._stop_event.is_set():
+                    return
+                continue
+            batch = [first]
+            hold_until = time.perf_counter() + self.batch_wait_seconds
+            while len(batch) < self.max_batch_size:
+                remaining = hold_until - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._pending.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            try:
+                self._execute(batch)
+            except Exception as error:  # noqa: BLE001 - a batcher thread
+                # must survive anything; fail the riders, keep looping
+                converted = to_api_error(error)
+                for pending in batch:
+                    pending.fail(ApiError(converted.code, str(converted)))
+
+    def _execute(self, batch: list[_PendingRequest]) -> None:
+        """One coalesced batch: enforce deadlines, ship, demultiplex."""
+        now = time.perf_counter()
+        live: list[_PendingRequest] = []
+        for pending in batch:
+            if pending.deadline <= now:
+                pending.fail(
+                    ApiError(
+                        api_errors.OVERLOADED,
+                        "request timed out in the batching queue; retry "
+                        "with backoff",
+                    )
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        waits = [now - pending.enqueued_at for pending in live]
+        timeout = max(0.05, min(p.deadline for p in live) - now)
+        try:
+            outcomes = self.inner.call_batch(
+                "annotate", [p.payload for p in live], timeout=timeout
+            )
+        except ApiError as error:
+            self.batch_metrics.observe_batch(len(live), waits, error=True)
+            for pending in live:
+                pending.fail(ApiError(error.code, str(error)))
+            return
+        self.batch_metrics.observe_batch(len(live), waits)
+        for pending, outcome in zip(live, outcomes):
+            error_payload = (
+                outcome.get("error") if isinstance(outcome, dict) else None
+            )
+            if error_payload is not None:
+                body: Mapping[str, str] = error_payload.get("error", {})
+                pending.fail(
+                    ApiError(
+                        body.get("code", api_errors.INTERNAL_ERROR),
+                        body.get("message", "worker error"),
+                    )
+                )
+            elif isinstance(outcome, dict) and "ok" in outcome:
+                pending.resolve(outcome["ok"])
+            else:
+                pending.fail(
+                    ApiError(
+                        api_errors.INTERNAL_ERROR,
+                        "batch backend returned a malformed outcome",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # delegation
+    # ------------------------------------------------------------------
+    def call_batch(
+        self,
+        endpoint: str,
+        payloads: list[dict],
+        timeout: float | None = None,
+    ) -> list[dict]:
+        return self.inner.call_batch(endpoint, payloads, timeout=timeout)
+
+    def observe(self, endpoint: str, seconds: float, error: bool) -> None:
+        self.inner.observe(endpoint, seconds, error)
+
+    def healthz(self) -> dict:
+        return self.inner.healthz()
+
+    def metrics_snapshot(self) -> dict:
+        snapshot = self.inner.metrics_snapshot()
+        snapshot["batching"] = {
+            "enabled": True,
+            "max_batch_size": self.max_batch_size,
+            "batch_wait_ms": round(self.batch_wait_seconds * 1000.0, 3),
+            **self.batch_metrics.snapshot(),
+        }
+        return snapshot
+
+    def reload(self, payload: dict) -> dict:
+        return self.inner.reload(payload)
+
+    def drain_batchers(self, timeout: float = 30.0) -> bool:
+        """Drain the batching queue and stop the coalescer threads without
+        touching the inner backend — for callers that own the inner
+        backend's lifecycle separately (benchmarks, layered serving)."""
+        self._stop_event.set()
+        deadline = time.monotonic() + max(timeout, 0.2)
+        drained = True
+        for thread in self._batchers:
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+            if thread.is_alive():
+                drained = False
+        return drained
+
+    def shutdown(self, drain_timeout: float | None = None) -> bool:
+        """Drain the batching queue, stop the batchers, then the inner
+        backend (which drains its own in-flight work)."""
+        drained = self.drain_batchers(
+            drain_timeout if drain_timeout is not None else 30.0
+        )
+        return self.inner.shutdown(drain_timeout) and drained

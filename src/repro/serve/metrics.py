@@ -10,10 +10,15 @@ the arithmetic is nanoseconds next to request work):
   traffic: per-worker handler-latency histograms (the time inside the
   worker process, excluding queue wait), a queue-wait window, and the
   dispatcher counters (sheds, worker restarts, reloads, in-flight gauge).
+* :class:`BatchingMetrics` — the request coalescer's accounting: how many
+  requests rode a fused super-batch vs. ran solo, the batch-size
+  histogram, and a window of coalesce waits (time a request sat in the
+  batching queue before its batch executed).
 
-``/metrics`` reports both: the aggregate ``endpoints`` section keeps its
-shape from the single-process days, and the ``workers`` / ``dispatcher``
-sections carry the per-worker split (see ``docs/OPERATIONS.md`` for the
+``/metrics`` reports all of them: the aggregate ``endpoints`` section
+keeps its shape from the single-process days, the ``workers`` /
+``dispatcher`` sections carry the per-worker split, and ``batching``
+appears when the coalescer is enabled (see ``docs/OPERATIONS.md`` for the
 full field reference).
 """
 
@@ -192,6 +197,80 @@ class DispatcherMetrics:
                 "worker_restarts": self._worker_restarts,
                 "reloads": self._reloads,
                 "queue_wait_seconds": {
+                    "p50": round(percentile(ordered, 0.50), 6),
+                    "p90": round(percentile(ordered, 0.90), 6),
+                    "p99": round(percentile(ordered, 0.99), 6),
+                    "max": round(ordered[-1], 6) if ordered else 0.0,
+                    "window": len(ordered),
+                },
+            }
+
+
+class BatchingMetrics:
+    """The request coalescer's accounting (fused-vs-solo split).
+
+    One instance per :class:`~repro.serve.dispatcher.BatchingBackend`.  All
+    mutation under one mutex, same as the other registries; the snapshot is
+    a fresh dict so callers never alias live state.
+    """
+
+    def __init__(self, window_size: int = 2048) -> None:
+        if window_size < 1:
+            # reprolint: ignore[exc-unclassified]: a programmer-error guard
+            # at construction time, never reachable from a request
+            raise ValueError("window_size must be >= 1")
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._batch_errors = 0
+        self._batched_requests = 0
+        self._solo_requests = 0
+        self._shed = 0
+        self._size_histogram: dict[int, int] = {}
+        self._wait_window: deque[float] = deque(maxlen=window_size)
+
+    def observe_batch(
+        self, size: int, waits: list[float], error: bool = False
+    ) -> None:
+        """One coalesced super-batch executed (``waits`` holds each rider's
+        time in the batching queue; ``error`` means the whole batch failed
+        at the transport level, not that one table errored)."""
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += size
+            if error:
+                self._batch_errors += 1
+            self._size_histogram[size] = self._size_histogram.get(size, 0) + 1
+            self._wait_window.extend(waits)
+
+    def observe_solo(self) -> None:
+        """One request bypassed the coalescer (non-annotate endpoint or an
+        engine override the batch default cannot serve)."""
+        with self._lock:
+            self._solo_requests += 1
+
+    def observe_shed(self) -> None:
+        """One request shed because the batching queue was full."""
+        with self._lock:
+            self._shed += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._wait_window)
+            batches = self._batches
+            return {
+                "batches": batches,
+                "batch_errors": self._batch_errors,
+                "batched_requests": self._batched_requests,
+                "solo_requests": self._solo_requests,
+                "shed": self._shed,
+                "mean_batch_size": (
+                    round(self._batched_requests / batches, 3) if batches else 0.0
+                ),
+                "batch_size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self._size_histogram.items())
+                },
+                "coalesce_wait_seconds": {
                     "p50": round(percentile(ordered, 0.50), 6),
                     "p90": round(percentile(ordered, 0.90), 6),
                     "p99": round(percentile(ordered, 0.99), 6),

@@ -28,21 +28,35 @@ parent sends                          worker replies
 ``("request", endpoint, payload)``    ``("ok", result, handler_seconds)``
                                       or ``("error", envelope, status,
                                       handler_seconds)``
+``("batch", endpoint, payloads)``     ``("ok", {"results": [...]},
+                                      handler_seconds)`` — one outcome
+                                      dict per payload, in order
 ``("ping",)``                         ``("pong", pid)``
 ``("stats",)``                        ``("ok", stats, 0.0)``
 ``("shutdown",)``                     ``("bye",)`` then exit 0
 ====================================  ====================================
 
+Messages are pickled at :data:`pickle.HIGHEST_PROTOCOL` with PEP-574
+out-of-band buffer extraction (:func:`send_message` / :func:`recv_message`)
+rather than the default ``Connection.send`` pickler: NumPy payloads cross
+the pipe as raw buffer frames instead of being copied through the pickle
+stream, and the in-band pickle stays small however large the arrays get
+(regression-tested in ``tests/serve/test_pool.py``).
+
 Errors cross the pipe as the same :class:`~repro.api.types.ErrorEnvelope`
 payload the single-process server would emit, so multi-worker error
-responses are byte-identical to inline ones.
+responses are byte-identical to inline ones.  A ``batch`` reply carries
+one ``{"ok": result}`` / ``{"error": envelope}`` outcome per payload —
+per-request error isolation across the same boundary.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import signal
+import struct
 import threading
 import time
 from multiprocessing.connection import Connection
@@ -60,11 +74,50 @@ __all__ = [
     "WorkerSpawnError",
     "WorkerTimeout",
     "fork_context",
+    "recv_message",
+    "send_message",
     "spawn_worker",
 ]
 
 #: default ceiling on one pipe round trip (overridden per dispatcher config)
 DEFAULT_CALL_TIMEOUT = 120.0
+
+#: frame header: little-endian u32 count of out-of-band buffer frames
+_HEADER = struct.Struct("<I")
+
+
+def send_message(conn: Connection, message: Any) -> None:
+    """Send one message as framed protocol-5 pickle bytes.
+
+    Frames: ``[u32 buffer count][pickle payload][raw buffer]*``.  NumPy
+    arrays (and anything else advertising :class:`pickle.PickleBuffer`)
+    travel as raw buffer frames after the payload, so the pickle stream
+    itself stays a few hundred bytes regardless of array sizes.  Falls back
+    to one in-band frame for the rare non-contiguous buffer.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    try:
+        payload = pickle.dumps(
+            message,
+            protocol=pickle.HIGHEST_PROTOCOL,
+            buffer_callback=buffers.append,
+        )
+        raw_frames = [buffer.raw() for buffer in buffers]
+    except BufferError:  # pragma: no cover - non-contiguous exotic payload
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        raw_frames = []
+    conn.send_bytes(_HEADER.pack(len(raw_frames)))
+    conn.send_bytes(payload)
+    for frame in raw_frames:
+        conn.send_bytes(frame)
+
+
+def recv_message(conn: Connection) -> Any:
+    """Receive one :func:`send_message` frame sequence."""
+    (n_buffers,) = _HEADER.unpack(conn.recv_bytes())
+    payload = conn.recv_bytes()
+    buffers = [conn.recv_bytes() for _ in range(n_buffers)]
+    return pickle.loads(payload, buffers=buffers)
 
 
 def fork_context() -> multiprocessing.context.BaseContext:
@@ -111,36 +164,42 @@ def _worker_main(
     state = ServeState(bundle, session_config=config)
     while True:
         try:
-            message = conn.recv()
+            message = recv_message(conn)
         except (EOFError, OSError):  # parent is gone: nothing to serve
             break
         kind = message[0]
-        if kind == "request":
+        if kind in ("request", "batch"):
             endpoint, payload = message[1], message[2]
             start = time.perf_counter()
             try:
-                result = state.handle(endpoint, payload)
+                if kind == "batch":
+                    result = state.handle_batch(endpoint, payload)
+                else:
+                    result = state.handle(endpoint, payload)
             except Exception as error:  # noqa: BLE001 - the process boundary
                 envelope = ErrorEnvelope.from_error(error)
-                conn.send(
+                send_message(
+                    conn,
                     (
                         "error",
                         envelope.to_json(),
                         envelope.http_status,
                         time.perf_counter() - start,
-                    )
+                    ),
                 )
             else:
-                conn.send(("ok", result, time.perf_counter() - start))
+                send_message(conn, ("ok", result, time.perf_counter() - start))
         elif kind == "ping":
-            conn.send(("pong", os.getpid()))
+            send_message(conn, ("pong", os.getpid()))
         elif kind == "stats":
-            conn.send(("ok", state.worker_stats(), 0.0))
+            send_message(conn, ("ok", state.worker_stats(), 0.0))
         elif kind == "shutdown":
-            conn.send(("bye",))
+            send_message(conn, ("bye",))
             break
         else:  # unknown control message: fail loudly, do not wedge the pipe
-            conn.send(("error", {"unknown_message": repr(kind)}, 500, 0.0))
+            send_message(
+                conn, ("error", {"unknown_message": repr(kind)}, 500, 0.0)
+            )
     conn.close()
 
 
@@ -184,7 +243,7 @@ class WorkerHandle:
     ) -> tuple[Any, ...]:
         """One request/response round trip; raises on death or timeout."""
         with self._conn_lock:
-            self._conn.send(message)
+            send_message(self._conn, message)
             # reprolint: ignore[lock-order-hold-wait]: _conn_lock exists
             # precisely to serialize this round trip; the child replies
             # regardless of parent lock state, and poll() is the bounded
@@ -193,9 +252,7 @@ class WorkerHandle:
                 raise WorkerTimeout(
                     f"worker {self.name} silent for {timeout:.0f}s"
                 )
-            # reprolint: ignore[lock-order-hold-wait]: poll() above already
-            # confirmed a buffered reply; this recv() cannot block
-            reply = self._conn.recv()
+            reply = recv_message(self._conn)
         if not isinstance(reply, tuple) or not reply:
             # reprolint: ignore[exc-unclassified]: deliberately a pipe-level
             # error — the dispatcher's _PIPE_ERRORS handling turns it into
@@ -230,9 +287,9 @@ class WorkerHandle:
         """
         if self._conn_lock.acquire(timeout=0.1):
             try:
-                self._conn.send(("shutdown",))
+                send_message(self._conn, ("shutdown",))
                 if self._conn.poll(timeout):
-                    self._conn.recv()
+                    recv_message(self._conn)
             except (OSError, EOFError, BrokenPipeError):
                 pass
             finally:

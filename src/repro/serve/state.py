@@ -40,6 +40,7 @@ from repro.api.session import ReproSession
 from repro.api.types import (
     SCHEMA_VERSION,
     AnnotateRequest,
+    ErrorEnvelope,
     JoinSearchRequest,
     SearchRequest,
     SearchResponse,
@@ -142,6 +143,65 @@ class ServeState:
             time.sleep(float(payload.get("seconds", 0.0)))
             return {"slept": payload.get("seconds", 0.0), "pid": os.getpid()}
         raise ApiError(api_errors.NOT_FOUND, f"unknown endpoint: {endpoint}")
+
+    def handle_batch(self, endpoint: str, payloads: list[dict]) -> dict:
+        """Handle one coalesced super-batch with per-item error isolation.
+
+        Returns ``{"results": [...]}`` with one outcome per payload, in
+        order: ``{"ok": <response body>}`` or ``{"error": <ErrorEnvelope>}``
+        — exactly the bodies and envelopes the per-request path would emit,
+        which is what makes serve-time batching invisible in responses.
+        ``annotate`` batches run fused through the session
+        (:meth:`~repro.api.session.ReproSession.annotate_batch`); any other
+        endpoint degrades to a per-item loop over :meth:`handle`.
+        """
+        if endpoint == "annotate":
+            return {"results": self._annotate_batch_results(payloads)}
+        results: list[dict] = []
+        for payload in payloads:
+            try:
+                results.append({"ok": self.handle(endpoint, payload)})
+            except Exception as error:  # noqa: BLE001 - isolate batchmates
+                results.append(
+                    {"error": ErrorEnvelope.from_error(error).to_json()}
+                )
+        return {"results": results}
+
+    def _annotate_batch_results(self, payloads: list[dict]) -> list[dict]:
+        """Decode, fuse-annotate and encode one ``annotate`` batch."""
+        outcomes: list[dict | None] = [None] * len(payloads)
+        requests: list[AnnotateRequest] = []
+        decoded_indices: list[int] = []
+        for index, payload in enumerate(payloads):
+            try:
+                requests.append(AnnotateRequest.from_json(payload))
+            except Exception as error:  # noqa: BLE001 - isolate batchmates
+                outcomes[index] = {
+                    "error": ErrorEnvelope.from_error(error).to_json()
+                }
+            else:
+                decoded_indices.append(index)
+        if requests:
+            responses = self.session.annotate_batch(requests)
+            for index, response in zip(decoded_indices, responses):
+                if isinstance(response, ApiError):
+                    outcomes[index] = {
+                        "error": ErrorEnvelope.from_error(response).to_json()
+                    }
+                else:
+                    outcomes[index] = {"ok": response.to_json()}
+        return [
+            outcome
+            if outcome is not None
+            else {
+                "error": ErrorEnvelope.from_error(
+                    ApiError(
+                        api_errors.INTERNAL_ERROR, "batch slot never resolved"
+                    )
+                ).to_json()
+            }
+            for outcome in outcomes
+        ]
 
     def annotate_payload(self, payload: dict) -> dict:
         """Handle one ``/annotate`` body."""

@@ -390,3 +390,69 @@ class TestServeCliSigterm:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10)
+
+
+class TestWireProtocol:
+    """The framed protocol-5 pipe messaging (PEP-574 out-of-band buffers)."""
+
+    @staticmethod
+    def _roundtrip_with_frames(message):
+        """send_message → raw frame sizes + the decoded reply."""
+        import pickle
+        import struct
+        from multiprocessing import Pipe
+
+        from repro.serve.pool import send_message
+
+        parent, child = Pipe(duplex=True)
+        captured: dict = {}
+
+        def reader() -> None:
+            (n_buffers,) = struct.unpack("<I", child.recv_bytes())
+            payload = child.recv_bytes()
+            buffers = [child.recv_bytes() for _ in range(n_buffers)]
+            captured["payload"] = payload
+            captured["buffer_sizes"] = [len(frame) for frame in buffers]
+            captured["decoded"] = pickle.loads(payload, buffers=buffers)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        send_message(parent, message)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        parent.close()
+        child.close()
+        return captured
+
+    def test_numpy_payload_travels_out_of_band(self):
+        """Wire-size regression: an 8 MB array must cross the pipe as a raw
+        buffer frame, with the in-band pickle staying tiny — the default
+        pickler used to copy the whole array through the pickle stream."""
+        import numpy as np
+
+        array = np.arange(1_000_000, dtype=np.float64)  # 8 MB raw
+        captured = self._roundtrip_with_frames(("ok", {"x": array}, 0.5))
+        assert len(captured["payload"]) < 16_384, (
+            f"in-band pickle grew to {len(captured['payload'])} bytes — "
+            "the array is being copied through the pickle stream again"
+        )
+        assert sum(captured["buffer_sizes"]) >= array.nbytes
+        kind, result, seconds = captured["decoded"]
+        assert kind == "ok" and seconds == 0.5
+        assert np.array_equal(result["x"], array)
+
+    def test_messages_pickle_at_highest_protocol(self):
+        """The payload frame must be a protocol-5 pickle (PEP 574), not the
+        interpreter default."""
+        import pickle
+
+        captured = self._roundtrip_with_frames(("ping",))
+        # a pickle stream opens with PROTO <version>
+        assert captured["payload"][:2] == bytes([0x80, pickle.HIGHEST_PROTOCOL])
+        assert pickle.HIGHEST_PROTOCOL >= 5
+        assert captured["decoded"] == ("ping",)
+
+    def test_plain_payload_roundtrip_has_no_buffers(self):
+        captured = self._roundtrip_with_frames(("ok", {"n": 3}, 0.0))
+        assert captured["buffer_sizes"] == []
+        assert captured["decoded"] == ("ok", {"n": 3}, 0.0)
